@@ -1,0 +1,28 @@
+"""Ablation: brute-force versus KD-tree closest-pair kernels.
+
+The alpha-distance evaluation is a closest-pair problem between two point
+sets.  The library switches from a vectorised brute-force kernel to a KD-tree
+kernel above a size threshold; this ablation benchmarks both kernels across
+set sizes so the cross-over choice is visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import closest_pair_distance
+
+
+@pytest.mark.parametrize("size", [64, 256, 1024])
+@pytest.mark.parametrize("kernel", ["brute_force", "kdtree"])
+def test_closest_pair_kernel(benchmark, size, kernel):
+    rng = np.random.default_rng(size)
+    points_a = rng.random((size, 2)) * 10.0
+    points_b = rng.random((size, 2)) * 10.0 + 5.0
+    use_kdtree = kernel == "kdtree"
+
+    result = benchmark(
+        lambda: closest_pair_distance(points_a, points_b, use_kdtree=use_kdtree)
+    )
+    # Both kernels must return the same exact distance.
+    reference = closest_pair_distance(points_a, points_b, use_kdtree=False)
+    assert result == pytest.approx(reference)

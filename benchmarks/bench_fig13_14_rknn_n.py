@@ -1,0 +1,33 @@
+"""Figures 13a/14a: RKNN cost versus dataset size N.
+
+Reproduced claims: all methods degrade as the dataset grows, but RSS and
+RSS-ICR access several times fewer objects than the basic sweep (the paper
+reports one or more orders of magnitude at its full scale), and RSS-ICR needs
+no more refinement steps than RSS.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, series_average, write_report
+from repro.bench.experiments import rknn_n_sweep
+
+
+def test_report_fig13a_14a_rknn_vs_n(benchmark):
+    result = benchmark.pedantic(lambda: rknn_n_sweep(BENCH_SCALE), rounds=1, iterations=1)
+    write_report("fig13a_14a_rknn_n", result)
+
+    basic = dict(result.series("basic", "object_accesses"))
+    rss = dict(result.series("rss", "object_accesses"))
+    icr = dict(result.series("rss_icr", "object_accesses"))
+    n_values = sorted(basic)
+    # The basic sweep degrades with N and RSS prunes most of its accesses.
+    assert basic[n_values[-1]] >= basic[n_values[0]]
+    for n in n_values:
+        assert rss[n] <= basic[n]
+        assert icr[n] <= basic[n]
+    # At the largest N the gap is at least 3x (paper: >= one order of magnitude
+    # at 125x our scale).
+    assert rss[n_values[-1]] * 3 <= basic[n_values[-1]]
+
+    # ICR reduces the refinement work relative to RSS.
+    assert series_average(result, "rss_icr", "refinement_steps") <= series_average(
+        result, "rss", "refinement_steps"
+    )

@@ -1,0 +1,36 @@
+"""Figures 13c/14c: RKNN cost versus the probability range length L.
+
+Reproduced claims: the basic sweep deteriorates quickly as the range grows
+(more AKNN queries are issued), while the object accesses of RSS / RSS-ICR
+are insensitive to L (one AKNN query plus one range search regardless of L);
+the advantage of the improved candidate refinement grows with L.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, series_average, write_report
+from repro.bench.experiments import rknn_range_sweep
+
+
+def test_report_fig13c_14c_rknn_vs_range(benchmark):
+    result = benchmark.pedantic(
+        lambda: rknn_range_sweep(BENCH_SCALE), rounds=1, iterations=1
+    )
+    write_report("fig13c_14c_rknn_range", result)
+
+    basic_accesses = dict(result.series("basic", "object_accesses"))
+    basic_calls = dict(result.series("basic", "aknn_calls"))
+    rss_accesses = dict(result.series("rss", "object_accesses"))
+    lengths = sorted(basic_accesses)
+    shortest, longest = lengths[0], lengths[-1]
+
+    # The basic method issues more AKNN calls (and accesses more objects) as
+    # the range grows; RSS stays essentially flat.
+    assert basic_calls[longest] >= basic_calls[shortest]
+    assert basic_accesses[longest] >= basic_accesses[shortest]
+    spread = max(rss_accesses.values()) - min(rss_accesses.values())
+    assert spread <= 0.5 * max(basic_accesses.values())
+    # RSS dominates basic at the longest range by a wide margin.
+    assert rss_accesses[longest] * 3 <= basic_accesses[longest]
+
+    assert series_average(result, "rss_icr", "refinement_steps") <= series_average(
+        result, "rss", "refinement_steps"
+    )

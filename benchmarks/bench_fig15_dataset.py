@@ -1,0 +1,26 @@
+"""Figure 15a/15b: AKNN methods on the synthetic vs the (simulated) real dataset.
+
+Reproduced claim: the basic method performs worst on both datasets, the
+improved lower bound (LB) cuts object accesses, and LB-LP-UB is the best
+method; the relative ordering is the same on both datasets.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, series_average, write_report
+from repro.bench.experiments import aknn_dataset_sweep
+
+
+def test_report_fig15_dataset_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: aknn_dataset_sweep(BENCH_SCALE), rounds=1, iterations=1
+    )
+    write_report("fig15_dataset", result)
+
+    for dataset in ("synthetic", "cells"):
+        accesses = {
+            method: dict(result.series(method, "object_accesses"))[dataset]
+            for method in result.methods()
+        }
+        # Basic is the worst method; the full optimisation stack is the best.
+        assert accesses["lb_lp_ub"] <= accesses["basic"]
+        assert accesses["lb"] <= accesses["basic"]
+        assert accesses["lb_lp"] <= accesses["lb"] + 1e-9

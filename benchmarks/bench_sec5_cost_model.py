@@ -1,0 +1,27 @@
+"""Section 5: the analytical access-cost model against measurements.
+
+Reproduced claims: Equation 8 predicts more object accesses as alpha (or k,
+or N) increases, and its prediction stays within an order of magnitude of the
+measured basic AKNN search on the matching synthetic dataset.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, write_report
+from repro.bench.experiments import cost_model_validation
+
+
+def test_report_sec5_cost_model(benchmark):
+    result = benchmark.pedantic(
+        lambda: cost_model_validation(BENCH_SCALE), rounds=1, iterations=1
+    )
+    write_report("sec5_cost_model", result)
+
+    measured = dict(result.series("measured_basic", "object_accesses"))
+    predicted = dict(result.series("predicted_eq8", "object_accesses"))
+    alphas = sorted(measured)
+
+    # Both curves rise with alpha (the basic search's Figure 11c trend).
+    assert measured[alphas[-1]] >= measured[alphas[0]]
+    assert predicted[alphas[-1]] >= predicted[alphas[0]]
+    # The model is an asymptotic estimate: demand order-of-magnitude agreement.
+    for alpha in alphas:
+        assert predicted[alpha] / 10 <= measured[alpha] <= predicted[alpha] * 10

@@ -1,0 +1,80 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every figure of the paper's evaluation has a corresponding ``bench_*`` module.
+Two kinds of benchmarks exist:
+
+* *method micro-benchmarks* — a single query per AKNN / RKNN method on a
+  shared database; the pytest-benchmark timing table is the running-time
+  panel of the figure (Figures 12, 14, 15b).
+* *figure reports* — one benchmark running the full parameter sweep of a
+  figure through :mod:`repro.bench.experiments` (one round), asserting the
+  qualitative claims of the paper and writing the reproduced table to
+  ``benchmarks/results/<figure>.txt`` so it can be inspected and diffed.
+
+The scale is deliberately tiny (hundreds of objects, tens of points) so the
+whole suite finishes in a few minutes; ``repro.bench.config.LAPTOP_SCALE`` and
+the CLI reproduce the same figures at a larger scale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.reporting import result_to_full_text
+from repro.config import RuntimeConfig
+from repro.datasets.builder import DatasetBundle
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale used by every figure report: small enough for pytest-benchmark,
+#: dense enough (paper-matched density) for the method ordering to show.
+BENCH_SCALE = ExperimentConfig(
+    n_objects=400,
+    points_per_object=60,
+    n_values=(100, 200, 400),
+    k_values=(5, 10, 20),
+    alpha_values=(0.3, 0.5, 0.7, 0.9),
+    range_lengths=(0.05, 0.1, 0.2),
+    k=10,
+    n_queries=2,
+    runtime=RuntimeConfig(rtree_max_entries=16),
+)
+
+
+def write_report(name: str, result) -> Path:
+    """Persist a reproduced figure table under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(result_to_full_text(result) + "\n", encoding="utf-8")
+    return path
+
+
+def series_average(result, method: str, metric: str) -> float:
+    """Average of one metric over a method's series (helper for assertions)."""
+    values = [value for _, value in result.series(method, metric)]
+    return sum(values) / len(values) if values else 0.0
+
+
+@pytest.fixture(scope="session")
+def bench_bundle() -> DatasetBundle:
+    """Shared synthetic database at the benchmark scale (default parameters)."""
+    bundle = DatasetBundle.create(
+        kind="synthetic",
+        n_objects=BENCH_SCALE.n_objects,
+        points_per_object=BENCH_SCALE.points_per_object,
+        seed=BENCH_SCALE.seed,
+        space_size=BENCH_SCALE.space_for(),
+        config=BENCH_SCALE.runtime,
+        query_seed=BENCH_SCALE.query_seed,
+    )
+    yield bundle
+    bundle.database.close()
+
+
+@pytest.fixture(scope="session")
+def bench_queries(bench_bundle) -> list:
+    """Query objects for the shared database."""
+    return bench_bundle.queries(BENCH_SCALE.n_queries)

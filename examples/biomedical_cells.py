@@ -1,0 +1,110 @@
+"""Biomedical scenario: nearest-neighbour analysis of probabilistically segmented cells.
+
+This is the application the paper motivates in its introduction: microscope
+images are segmented automatically, each cell becomes a cloud of pixels with
+membership probabilities (a *probabilistic mask*), and downstream analyses —
+e.g. the nearest-neighbour distance distributions used in brain-aging and
+Alzheimer's studies — need kNN queries that respect that uncertainty.
+
+The script:
+
+1. simulates a slide of segmented cells (irregular supports, noisy masks),
+2. finds the nearest cells to a chosen cell at a *high* confidence threshold
+   (only the clearly segmented cell bodies count) and at a *low* threshold
+   (the fuzzy halos count too), showing how the answer changes, and
+3. computes the nearest-neighbour distance distribution of the whole slide at
+   both thresholds — the kind of statistic a stereological study would report.
+
+Run with::
+
+    python examples/biomedical_cells.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import numpy as np
+
+from repro import FuzzyDatabase
+from repro.config import RuntimeConfig
+from repro.datasets.cells import CellDatasetConfig, generate_cell_dataset
+
+HIGH_CONFIDENCE = 0.8  # only the clearly identified cell body
+LOW_CONFIDENCE = 0.2   # include the fuzzy halo around each cell
+
+
+def build_slide(n_cells: int = 200) -> FuzzyDatabase:
+    """Simulate one microscope slide and index its cells."""
+    config = CellDatasetConfig(
+        n_objects=n_cells,
+        points_per_object=120,
+        space_size=10.0,       # a dense field of view
+        irregularity=0.5,
+        membership_noise=0.3,
+        seed=2024,
+    )
+    cells = generate_cell_dataset(config)
+    return FuzzyDatabase.build(cells, config=RuntimeConfig(rtree_max_entries=16))
+
+
+def nearest_cells_at_two_confidence_levels(db: FuzzyDatabase) -> None:
+    """Show how the 5 nearest cells change with the confidence threshold."""
+    query_cell = db.get_object(0)
+    print(f"Query: cell 0 ({query_cell.size} pixels, "
+          f"{query_cell.distinct_memberships().size} distinct probabilities)")
+
+    for alpha, label in ((HIGH_CONFIDENCE, "cell bodies only"), (LOW_CONFIDENCE, "including halos")):
+        result = db.aknn(query_cell, k=6, alpha=alpha, method="lb_lp_ub")
+        # The query object itself is stored in the database, so it appears at
+        # distance zero; drop it from the report.
+        neighbors = [n for n in result.sorted_by_distance() if n.object_id != 0][:5]
+        ids = ", ".join(str(n.object_id) for n in neighbors)
+        print(f"  alpha = {alpha:.1f} ({label:>18}): nearest cells -> {ids}")
+    print()
+
+
+def nn_distance_distribution(db: FuzzyDatabase, alpha: float, sample: int = 40) -> list:
+    """Nearest-neighbour distance of a sample of cells at one threshold."""
+    distances = []
+    for object_id in db.object_ids()[:sample]:
+        cell = db.get_object(object_id)
+        result = db.aknn(cell, k=2, alpha=alpha, method="lb_lp_ub")
+        # k=2 because the nearest neighbour of a stored cell is itself.
+        others = [n for n in result.sorted_by_distance() if n.object_id != object_id]
+        if others:
+            neighbor = others[0]
+            distance = (
+                neighbor.distance
+                if neighbor.distance is not None
+                else neighbor.upper_bound
+            )
+            distances.append(distance)
+    return distances
+
+
+def main() -> None:
+    print("Simulating a slide of probabilistically segmented cells ...")
+    db = build_slide()
+    print(f"  -> {len(db)} cells indexed\n")
+
+    nearest_cells_at_two_confidence_levels(db)
+
+    print("Nearest-neighbour distance distribution (40 sampled cells):")
+    for alpha in (HIGH_CONFIDENCE, LOW_CONFIDENCE):
+        distances = nn_distance_distribution(db, alpha)
+        print(
+            f"  alpha = {alpha:.1f}: mean {statistics.mean(distances):.4f}, "
+            f"median {statistics.median(distances):.4f}, "
+            f"min {min(distances):.4f}, max {max(distances):.4f}"
+        )
+    print(
+        "\nLower thresholds include the uncertain halo of every cell, so the\n"
+        "distances shrink — exactly the sensitivity a fixed-threshold pipeline\n"
+        "would hide and an AKNN query exposes as an explicit parameter."
+    )
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

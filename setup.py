@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that editable installs keep working in offline environments where the
+``wheel`` package (required by PEP 517 editable builds) is unavailable:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

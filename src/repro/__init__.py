@@ -1,0 +1,119 @@
+"""Reproduction of "K-Nearest Neighbor Search for Fuzzy Objects" (SIGMOD 2010).
+
+The library implements the paper's fuzzy object model, the alpha-distance,
+and the AKNN / RKNN query processing algorithms (with every optimisation the
+paper evaluates), together with the substrates they rely on: an R-tree over
+fuzzy-object summaries, a disk-backed object store with exact access counting,
+dataset generators matching the experimental setup, the Section-5 cost model
+and a per-figure experiment harness.
+
+Typical usage::
+
+    import numpy as np
+    from repro import FuzzyDatabase, FuzzyObject
+
+    rng = np.random.default_rng(0)
+    objects = [
+        FuzzyObject(rng.random((50, 2)) + i, np.linspace(0.05, 1.0, 50))
+        for i in range(100)
+    ]
+    db = FuzzyDatabase.build(objects)
+    query = FuzzyObject.single_point([5.0, 5.0])
+    for neighbor in db.aknn(query, k=5, alpha=0.5).sorted_by_distance():
+        print(neighbor.object_id, neighbor.distance)
+"""
+
+from repro.config import PaperDefaults, RuntimeConfig, DEFAULTS
+from repro.exceptions import (
+    EmptyAlphaCutError,
+    InvalidFuzzyObjectError,
+    InvalidQueryError,
+    ObjectNotFoundError,
+    ReproError,
+    SerializationError,
+    StorageError,
+)
+from repro.fuzzy import (
+    DistanceProfile,
+    FuzzyObject,
+    FuzzyObjectSummary,
+    Interval,
+    IntervalSet,
+    alpha_distance,
+    distance_profile,
+)
+from repro.geometry import MBR, max_dist, min_dist
+from repro.index import RTree
+from repro.storage import ObjectStore
+from repro.core import (
+    AKNN_METHODS,
+    AKNNResult,
+    AKNNSearcher,
+    AlphaDistanceJoin,
+    AlphaRangeSearcher,
+    FuzzyDatabase,
+    JoinResult,
+    LinearScanSearcher,
+    Neighbor,
+    QueryStats,
+    ReverseAKNNSearcher,
+    ReverseKNNResult,
+    RKNN_METHODS,
+    RKNNResult,
+    RKNNSearcher,
+    RangeSearchResult,
+)
+from repro.analysis import AccessCostModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Configuration
+    "PaperDefaults",
+    "RuntimeConfig",
+    "DEFAULTS",
+    # Exceptions
+    "ReproError",
+    "InvalidFuzzyObjectError",
+    "InvalidQueryError",
+    "EmptyAlphaCutError",
+    "StorageError",
+    "ObjectNotFoundError",
+    "SerializationError",
+    # Fuzzy object model
+    "FuzzyObject",
+    "FuzzyObjectSummary",
+    "DistanceProfile",
+    "Interval",
+    "IntervalSet",
+    "alpha_distance",
+    "distance_profile",
+    # Geometry
+    "MBR",
+    "min_dist",
+    "max_dist",
+    # Substrates
+    "RTree",
+    "ObjectStore",
+    # Query processing
+    "FuzzyDatabase",
+    "AKNNSearcher",
+    "AKNN_METHODS",
+    "RKNNSearcher",
+    "RKNN_METHODS",
+    "AlphaRangeSearcher",
+    "LinearScanSearcher",
+    "AKNNResult",
+    "RKNNResult",
+    "RangeSearchResult",
+    "Neighbor",
+    "QueryStats",
+    # Extension queries (the paper's proposed follow-up work)
+    "AlphaDistanceJoin",
+    "JoinResult",
+    "ReverseAKNNSearcher",
+    "ReverseKNNResult",
+    # Analysis
+    "AccessCostModel",
+]

@@ -1,0 +1,134 @@
+"""Fractal dimension estimators for point sets.
+
+The access-cost model of Section 5 borrows two formulas from Papadopoulos &
+Manolopoulos that are parameterised by the *correlation fractal dimension*
+``D2`` and the *Hausdorff (box-counting) fractal dimension* ``D0`` of the
+dataset (both equal 2 for uniformly distributed 2-d data).  This module
+estimates the two dimensions empirically so the cost model can also be
+applied to skewed datasets.
+
+Both estimators use the standard log-log regression over a geometric ladder
+of scales:
+
+* ``D0``: slope of ``log(occupied boxes)`` against ``log(1 / box size)``.
+* ``D2``: slope of ``log(sum of squared box occupancies)`` against
+  ``log(box size)`` (the grid approximation of the correlation integral).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _scale_ladder(
+    points: np.ndarray, n_scales: int, min_cells: int, max_cells: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Normalised points plus a geometric ladder of grid resolutions."""
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[0] < 2:
+        raise ValueError("fractal dimension needs a (n, d) array with n >= 2")
+    lower = pts.min(axis=0)
+    extent = pts.max(axis=0) - lower
+    extent[extent == 0.0] = 1.0
+    normalised = (pts - lower) / extent
+    resolutions = np.unique(
+        np.round(
+            np.exp(np.linspace(np.log(min_cells), np.log(max_cells), n_scales))
+        ).astype(int)
+    )
+    resolutions = resolutions[resolutions >= 2]
+    return normalised, resolutions, extent
+
+
+def _cell_counts(normalised: np.ndarray, resolution: int) -> np.ndarray:
+    """Number of points falling into each occupied grid cell."""
+    cells = np.minimum((normalised * resolution).astype(int), resolution - 1)
+    # Hash the d-dimensional cell index into a single integer per point.
+    dims = cells.shape[1]
+    keys = cells[:, 0].astype(np.int64)
+    for dim in range(1, dims):
+        keys = keys * resolution + cells[:, dim]
+    _, counts = np.unique(keys, return_counts=True)
+    return counts
+
+
+def box_counting_dimension(
+    points: np.ndarray,
+    n_scales: int = 8,
+    min_cells: int = 2,
+    max_cells: int = 64,
+) -> float:
+    """Hausdorff (box-counting) dimension ``D0`` of a point set."""
+    normalised, resolutions, _ = _scale_ladder(points, n_scales, min_cells, max_cells)
+    log_counts = []
+    log_scales = []
+    for resolution in resolutions:
+        occupied = _cell_counts(normalised, int(resolution)).size
+        log_counts.append(np.log(occupied))
+        log_scales.append(np.log(resolution))
+    if len(log_scales) < 2:
+        return float(points.shape[1])
+    slope, _ = np.polyfit(log_scales, log_counts, 1)
+    return float(np.clip(slope, 0.0, points.shape[1]))
+
+
+def correlation_dimension(
+    points: np.ndarray,
+    n_scales: int = 8,
+    min_cells: int = 2,
+    max_cells: int = 64,
+) -> float:
+    """Correlation dimension ``D2`` of a point set (grid approximation)."""
+    normalised, resolutions, _ = _scale_ladder(points, n_scales, min_cells, max_cells)
+    log_s2 = []
+    log_sizes = []
+    total = normalised.shape[0]
+    for resolution in resolutions:
+        counts = _cell_counts(normalised, int(resolution))
+        s2 = float(np.sum((counts / total) ** 2))
+        log_s2.append(np.log(s2))
+        log_sizes.append(np.log(1.0 / resolution))
+    if len(log_sizes) < 2:
+        return float(points.shape[1])
+    slope, _ = np.polyfit(log_sizes, log_s2, 1)
+    return float(np.clip(slope, 0.0, points.shape[1]))
+
+
+def dataset_center_dimension(
+    centers: np.ndarray, kind: str = "correlation", n_scales: int = 8
+) -> float:
+    """Fractal dimension of a dataset represented by its object centres."""
+    if kind == "correlation":
+        return correlation_dimension(centers, n_scales=n_scales)
+    if kind == "hausdorff":
+        return box_counting_dimension(centers, n_scales=n_scales)
+    raise ValueError(f"unknown dimension kind {kind!r}")
+
+
+def uniform_reference_dimension(dimensions: int = 2) -> float:
+    """The fractal dimension of a uniform set (both D0 and D2): the embedding dimension."""
+    return float(dimensions)
+
+
+def estimate_dimensions(
+    centers: np.ndarray, n_scales: int = 8
+) -> Tuple[float, float]:
+    """Convenience helper returning ``(D0, D2)`` for a set of object centres."""
+    return (
+        box_counting_dimension(centers, n_scales=n_scales),
+        correlation_dimension(centers, n_scales=n_scales),
+    )
+
+
+def sample_centers(
+    centers: np.ndarray, max_points: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Subsample centres before estimation to bound the estimator's cost."""
+    pts = np.asarray(centers, dtype=float)
+    if pts.shape[0] <= max_points:
+        return pts
+    rng = rng or np.random.default_rng(0)
+    idx = rng.choice(pts.shape[0], size=max_points, replace=False)
+    return pts[idx]

@@ -1,0 +1,28 @@
+"""Experiment harness reproducing the evaluation of Section 6.
+
+Each figure of the paper maps to one function in
+:mod:`~repro.bench.experiments`; the functions build the required datasets,
+run every competing method over a batch of queries, and return an
+:class:`~repro.bench.runner.ExperimentResult` whose rows mirror the series of
+the original plot (object accesses for Figures 11/13/15a, running time for
+Figures 12/14/15b).  :mod:`~repro.bench.reporting` renders the results as
+plain-text tables, which is what the ``benchmarks/`` suite and the CLI print.
+"""
+
+from repro.bench.config import ExperimentConfig, PAPER_SCALE, LAPTOP_SCALE, TINY_SCALE
+from repro.bench.runner import ExperimentResult, run_aknn_batch, run_rknn_batch
+from repro.bench.reporting import format_table, result_to_text
+from repro.bench import experiments
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_SCALE",
+    "LAPTOP_SCALE",
+    "TINY_SCALE",
+    "ExperimentResult",
+    "run_aknn_batch",
+    "run_rknn_batch",
+    "format_table",
+    "result_to_text",
+    "experiments",
+]

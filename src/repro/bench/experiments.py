@@ -1,0 +1,280 @@
+"""Per-figure experiment definitions (Section 6 of the paper).
+
+Every function reproduces the data behind one (or one pair of) figure(s):
+
+===============================  ==========================================
+Function                         Paper figures
+===============================  ==========================================
+``aknn_dataset_sweep``           Figure 15a / 15b (synthetic vs real dataset)
+``aknn_n_sweep``                 Figure 11a / 12a (dataset size N)
+``aknn_k_sweep``                 Figure 11b / 12b (result size k)
+``aknn_alpha_sweep``             Figure 11c / 12c (probability threshold)
+``rknn_n_sweep``                 Figure 13a / 14a (dataset size N)
+``rknn_k_sweep``                 Figure 13b / 14b (result size k)
+``rknn_range_sweep``             Figure 13c / 14c (probability range length L)
+``cost_model_validation``        Section 5 (predicted vs measured accesses)
+===============================  ==========================================
+
+Each returns an :class:`~repro.bench.runner.ExperimentResult` whose rows carry
+``object_accesses`` and ``running_time`` per method and x-axis value — the two
+metrics the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.cost_model import AccessCostModel
+from repro.bench.config import ExperimentConfig, LAPTOP_SCALE
+from repro.bench.runner import ExperimentResult, run_aknn_batch, run_rknn_batch
+from repro.datasets.builder import DatasetBundle
+
+AKNN_METRICS = ("object_accesses", "running_time")
+RKNN_METRICS = ("object_accesses", "running_time", "refinement_steps")
+
+_SCALE_NOTE = (
+    "Scaled reproduction: absolute values differ from the paper's Java/50k-object "
+    "setup; the relative ordering of the methods is what is being reproduced."
+)
+
+
+def _bundle(
+    config: ExperimentConfig,
+    kind: Optional[str] = None,
+    n_objects: Optional[int] = None,
+    space_size: Optional[float] = None,
+) -> DatasetBundle:
+    """Build the dataset bundle one experiment point needs."""
+    n_objects = n_objects or config.n_objects
+    return DatasetBundle.create(
+        kind=kind or config.dataset_kind,
+        n_objects=n_objects,
+        points_per_object=config.points_per_object,
+        seed=config.seed,
+        space_size=space_size if space_size is not None else config.space_for(n_objects),
+        config=config.runtime,
+        query_seed=config.query_seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# AKNN experiments (Figures 11, 12, 15)
+# ----------------------------------------------------------------------
+def aknn_dataset_sweep(config: ExperimentConfig = LAPTOP_SCALE) -> ExperimentResult:
+    """Figure 15a/15b: every AKNN variant on the synthetic and cell datasets."""
+    result = ExperimentResult(
+        experiment_id="fig15",
+        title="AKNN methods on synthetic vs simulated-real dataset",
+        parameter="dataset",
+        metrics=AKNN_METRICS,
+        notes=_SCALE_NOTE,
+    )
+    for kind in ("synthetic", "cells"):
+        bundle = _bundle(config, kind=kind)
+        queries = bundle.queries(config.n_queries)
+        for method in config.aknn_methods:
+            measurement = run_aknn_batch(
+                bundle.database, queries, k=config.k, alpha=config.alpha, method=method
+            )
+            result.add_row(dataset=kind, method=method, **measurement)
+        bundle.database.close()
+    return result
+
+
+def aknn_n_sweep(config: ExperimentConfig = LAPTOP_SCALE) -> ExperimentResult:
+    """Figure 11a/12a: AKNN cost as the number of objects grows."""
+    result = ExperimentResult(
+        experiment_id="fig11a_12a",
+        title="AKNN methods vs dataset size N",
+        parameter="n_objects",
+        metrics=AKNN_METRICS,
+        notes=_SCALE_NOTE,
+    )
+    # The paper grows N inside a fixed space (density increases with N); keep
+    # that behaviour by fixing the space to the one matching the largest N.
+    space_size = config.space_for(max(config.n_values))
+    for n_objects in config.n_values:
+        bundle = _bundle(config, n_objects=n_objects, space_size=space_size)
+        queries = bundle.queries(config.n_queries)
+        for method in config.aknn_methods:
+            measurement = run_aknn_batch(
+                bundle.database, queries, k=config.k, alpha=config.alpha, method=method
+            )
+            result.add_row(n_objects=n_objects, method=method, **measurement)
+        bundle.database.close()
+    return result
+
+
+def aknn_k_sweep(config: ExperimentConfig = LAPTOP_SCALE) -> ExperimentResult:
+    """Figure 11b/12b: AKNN cost as the number of requested neighbours grows."""
+    result = ExperimentResult(
+        experiment_id="fig11b_12b",
+        title="AKNN methods vs k",
+        parameter="k",
+        metrics=AKNN_METRICS,
+        notes=_SCALE_NOTE,
+    )
+    bundle = _bundle(config)
+    queries = bundle.queries(config.n_queries)
+    for k in config.k_values:
+        for method in config.aknn_methods:
+            measurement = run_aknn_batch(
+                bundle.database, queries, k=k, alpha=config.alpha, method=method
+            )
+            result.add_row(k=k, method=method, **measurement)
+    bundle.database.close()
+    return result
+
+
+def aknn_alpha_sweep(config: ExperimentConfig = LAPTOP_SCALE) -> ExperimentResult:
+    """Figure 11c/12c: AKNN cost as the probability threshold grows."""
+    result = ExperimentResult(
+        experiment_id="fig11c_12c",
+        title="AKNN methods vs probability threshold alpha",
+        parameter="alpha",
+        metrics=AKNN_METRICS,
+        notes=_SCALE_NOTE,
+    )
+    bundle = _bundle(config)
+    queries = bundle.queries(config.n_queries)
+    for alpha in config.alpha_values:
+        for method in config.aknn_methods:
+            measurement = run_aknn_batch(
+                bundle.database, queries, k=config.k, alpha=alpha, method=method
+            )
+            result.add_row(alpha=alpha, method=method, **measurement)
+    bundle.database.close()
+    return result
+
+
+# ----------------------------------------------------------------------
+# RKNN experiments (Figures 13, 14)
+# ----------------------------------------------------------------------
+def rknn_n_sweep(config: ExperimentConfig = LAPTOP_SCALE) -> ExperimentResult:
+    """Figure 13a/14a: RKNN cost as the number of objects grows."""
+    result = ExperimentResult(
+        experiment_id="fig13a_14a",
+        title="RKNN methods vs dataset size N",
+        parameter="n_objects",
+        metrics=RKNN_METRICS,
+        notes=_SCALE_NOTE,
+    )
+    alpha_range = config.alpha_range()
+    space_size = config.space_for(max(config.n_values))
+    for n_objects in config.n_values:
+        bundle = _bundle(config, n_objects=n_objects, space_size=space_size)
+        queries = bundle.queries(config.n_queries)
+        for method in config.rknn_methods:
+            measurement = run_rknn_batch(
+                bundle.database, queries, k=config.k, alpha_range=alpha_range, method=method
+            )
+            result.add_row(n_objects=n_objects, method=method, **measurement)
+        bundle.database.close()
+    return result
+
+
+def rknn_k_sweep(config: ExperimentConfig = LAPTOP_SCALE) -> ExperimentResult:
+    """Figure 13b/14b: RKNN cost as the number of requested neighbours grows."""
+    result = ExperimentResult(
+        experiment_id="fig13b_14b",
+        title="RKNN methods vs k",
+        parameter="k",
+        metrics=RKNN_METRICS,
+        notes=_SCALE_NOTE,
+    )
+    bundle = _bundle(config)
+    queries = bundle.queries(config.n_queries)
+    alpha_range = config.alpha_range()
+    for k in config.k_values:
+        for method in config.rknn_methods:
+            measurement = run_rknn_batch(
+                bundle.database, queries, k=k, alpha_range=alpha_range, method=method
+            )
+            result.add_row(k=k, method=method, **measurement)
+    bundle.database.close()
+    return result
+
+
+def rknn_range_sweep(config: ExperimentConfig = LAPTOP_SCALE) -> ExperimentResult:
+    """Figure 13c/14c: RKNN cost as the probability range length grows."""
+    result = ExperimentResult(
+        experiment_id="fig13c_14c",
+        title="RKNN methods vs probability range length L",
+        parameter="range_length",
+        metrics=RKNN_METRICS,
+        notes=_SCALE_NOTE,
+    )
+    bundle = _bundle(config)
+    queries = bundle.queries(config.n_queries)
+    for length in config.range_lengths:
+        alpha_range = config.alpha_range(length)
+        for method in config.rknn_methods:
+            measurement = run_rknn_batch(
+                bundle.database, queries, k=config.k, alpha_range=alpha_range, method=method
+            )
+            result.add_row(range_length=length, method=method, **measurement)
+    bundle.database.close()
+    return result
+
+
+# ----------------------------------------------------------------------
+# Section 5: cost model validation
+# ----------------------------------------------------------------------
+def cost_model_validation(config: ExperimentConfig = LAPTOP_SCALE) -> ExperimentResult:
+    """Predicted (Equation 8) vs measured object accesses for the basic AKNN search."""
+    result = ExperimentResult(
+        experiment_id="sec5",
+        title="Access cost model: predicted vs measured object accesses (basic AKNN)",
+        parameter="alpha",
+        metrics=("object_accesses",),
+        notes="The model assumes ideal (spherical) fuzzy objects; the synthetic "
+        "dataset matches that assumption up to sampling noise.",
+    )
+    bundle = _bundle(config, kind="synthetic")
+    queries = bundle.queries(config.n_queries)
+    model = AccessCostModel.for_synthetic_dataset(
+        n_objects=config.n_objects,
+        space_size=config.space_for(),
+        node_capacity=config.runtime.rtree_max_entries,
+    )
+    for alpha in config.alpha_values:
+        measured = run_aknn_batch(
+            bundle.database, queries, k=config.k, alpha=alpha, method="basic"
+        )
+        result.add_row(
+            alpha=alpha,
+            method="measured_basic",
+            object_accesses=measured["object_accesses"],
+            running_time=measured["running_time"],
+        )
+        result.add_row(
+            alpha=alpha,
+            method="predicted_eq8",
+            object_accesses=model.predict_object_accesses(config.k, alpha),
+            running_time=0.0,
+        )
+    bundle.database.close()
+    return result
+
+
+#: Registry used by the CLI and the benchmark suite.
+EXPERIMENTS: Dict[str, Tuple[str, callable]] = {
+    "fig15": ("AKNN on synthetic vs real dataset (Fig. 15a/b)", aknn_dataset_sweep),
+    "fig11a": ("AKNN vs N (Fig. 11a/12a)", aknn_n_sweep),
+    "fig11b": ("AKNN vs k (Fig. 11b/12b)", aknn_k_sweep),
+    "fig11c": ("AKNN vs alpha (Fig. 11c/12c)", aknn_alpha_sweep),
+    "fig13a": ("RKNN vs N (Fig. 13a/14a)", rknn_n_sweep),
+    "fig13b": ("RKNN vs k (Fig. 13b/14b)", rknn_k_sweep),
+    "fig13c": ("RKNN vs L (Fig. 13c/14c)", rknn_range_sweep),
+    "sec5": ("Cost model validation (Section 5)", cost_model_validation),
+}
+
+
+def run_experiment(name: str, config: ExperimentConfig = LAPTOP_SCALE) -> ExperimentResult:
+    """Run one named experiment from :data:`EXPERIMENTS`."""
+    if name not in EXPERIMENTS:
+        raise ValueError(f"unknown experiment {name!r}; expected one of {sorted(EXPERIMENTS)}")
+    _, function = EXPERIMENTS[name]
+    return function(config)

@@ -1,0 +1,90 @@
+"""Plain-text rendering of experiment results.
+
+The paper reports its evaluation as bar/line charts; the harness reproduces
+the same series as text tables (one row per method, one column per x-axis
+value), which keeps the reproduction dependency-free and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.runner import ExperimentResult
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], min_width: int = 8
+) -> str:
+    """Render a list of rows as an aligned, pipe-separated text table."""
+    columns = [str(h) for h in headers]
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [max(min_width, len(col)) for col in columns]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header_line = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in text_rows
+    ]
+    return "\n".join([header_line, separator, *body])
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def result_to_text(result: ExperimentResult, metric: str) -> str:
+    """Render one metric of an experiment as a methods-by-parameter table."""
+    parameters = result.parameter_values()
+    headers = ["method"] + [str(p) for p in parameters]
+    rows: List[List[object]] = []
+    for method in result.methods():
+        series = dict(result.series(method, metric))
+        rows.append([method] + [series.get(p, float("nan")) for p in parameters])
+    title = f"{result.experiment_id}: {result.title} — {metric}"
+    table = format_table(headers, rows)
+    parts = [title, table]
+    if result.notes:
+        parts.append(result.notes)
+    return "\n".join(parts)
+
+
+def result_to_full_text(result: ExperimentResult) -> str:
+    """Render every metric of an experiment, separated by blank lines."""
+    return "\n\n".join(result_to_text(result, metric) for metric in result.metrics)
+
+
+def results_to_markdown(results: Sequence[ExperimentResult]) -> str:
+    """Markdown report used when regenerating EXPERIMENTS.md measurements."""
+    sections: List[str] = []
+    for result in results:
+        sections.append(f"### {result.experiment_id}: {result.title}\n")
+        for metric in result.metrics:
+            sections.append(f"**{metric}**\n")
+            sections.append("```\n" + result_to_text(result, metric) + "\n```\n")
+    return "\n".join(sections)
+
+
+def summarize_speedups(result: ExperimentResult, metric: str, baseline: str) -> Dict[str, float]:
+    """Average improvement factor of each method over ``baseline`` for ``metric``."""
+    baseline_series = dict(result.series(baseline, metric))
+    summary: Dict[str, float] = {}
+    for method in result.methods():
+        if method == baseline:
+            continue
+        ratios = []
+        for parameter, value in result.series(method, metric):
+            base = baseline_series.get(parameter)
+            if base and value:
+                ratios.append(base / value)
+        if ratios:
+            summary[method] = float(sum(ratios) / len(ratios))
+    return summary

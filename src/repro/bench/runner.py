@@ -1,0 +1,125 @@
+"""Measurement primitives shared by all experiments.
+
+``run_aknn_batch`` / ``run_rknn_batch`` execute one method over a batch of
+query objects against a database and return the per-query average of the cost
+counters.  ``ExperimentResult`` collects the rows of one figure reproduction
+together with enough metadata to render it as a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.database import FuzzyDatabase
+from repro.fuzzy.fuzzy_object import FuzzyObject
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced figure plus labelling metadata."""
+
+    experiment_id: str
+    title: str
+    parameter: str
+    metrics: Tuple[str, ...]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: object) -> None:
+        """Append one measurement row."""
+        self.rows.append(dict(values))
+
+    def series(self, method: str, metric: str) -> List[Tuple[object, float]]:
+        """``(parameter value, metric)`` pairs for one method, in row order."""
+        return [
+            (row[self.parameter], float(row[metric]))
+            for row in self.rows
+            if row.get("method") == method
+        ]
+
+    def methods(self) -> List[str]:
+        """Distinct method names present in the rows, in first-seen order."""
+        seen: List[str] = []
+        for row in self.rows:
+            method = str(row.get("method"))
+            if method not in seen:
+                seen.append(method)
+        return seen
+
+    def parameter_values(self) -> List[object]:
+        """Distinct parameter values, in first-seen order."""
+        seen: List[object] = []
+        for row in self.rows:
+            value = row.get(self.parameter)
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+
+def _average(values: Sequence[float]) -> float:
+    return float(np.mean(values)) if values else 0.0
+
+
+def run_aknn_batch(
+    database: FuzzyDatabase,
+    queries: Sequence[FuzzyObject],
+    k: int,
+    alpha: float,
+    method: str,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, float]:
+    """Average AKNN cost counters over a batch of queries."""
+    accesses: List[float] = []
+    node_accesses: List[float] = []
+    distance_evaluations: List[float] = []
+    elapsed: List[float] = []
+    for query in queries:
+        database.reset_statistics()
+        result = database.aknn(query, k=k, alpha=alpha, method=method, rng=rng)
+        accesses.append(result.stats.object_accesses)
+        node_accesses.append(result.stats.node_accesses)
+        distance_evaluations.append(result.stats.distance_evaluations)
+        elapsed.append(result.stats.elapsed_seconds)
+    return {
+        "object_accesses": _average(accesses),
+        "node_accesses": _average(node_accesses),
+        "distance_evaluations": _average(distance_evaluations),
+        "running_time": _average(elapsed),
+    }
+
+
+def run_rknn_batch(
+    database: FuzzyDatabase,
+    queries: Sequence[FuzzyObject],
+    k: int,
+    alpha_range: Tuple[float, float],
+    method: str,
+    aknn_method: str = "lb_lp_ub",
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, float]:
+    """Average RKNN cost counters over a batch of queries."""
+    accesses: List[float] = []
+    aknn_calls: List[float] = []
+    refinement_steps: List[float] = []
+    elapsed: List[float] = []
+    result_sizes: List[float] = []
+    for query in queries:
+        database.reset_statistics()
+        result = database.rknn(
+            query, k=k, alpha_range=alpha_range, method=method, aknn_method=aknn_method, rng=rng
+        )
+        accesses.append(result.stats.object_accesses)
+        aknn_calls.append(result.stats.aknn_calls)
+        refinement_steps.append(result.stats.refinement_steps)
+        elapsed.append(result.stats.elapsed_seconds)
+        result_sizes.append(len(result))
+    return {
+        "object_accesses": _average(accesses),
+        "aknn_calls": _average(aknn_calls),
+        "refinement_steps": _average(refinement_steps),
+        "running_time": _average(elapsed),
+        "result_size": _average(result_sizes),
+    }

@@ -1,0 +1,184 @@
+"""Command-line interface.
+
+Installed as the ``fuzzy-knn`` console script (see ``pyproject.toml``), also
+runnable as ``python -m repro.cli``.  Subcommands:
+
+``generate``
+    Build a dataset, index it, and persist the database to a directory.
+
+``aknn`` / ``rknn``
+    Run a single query (with a freshly generated query object) against either
+    a saved database or an in-memory one generated on the fly, and print the
+    result together with its cost counters.
+
+``experiment``
+    Reproduce one of the paper's figures and print the corresponding tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bench.config import scale_for_name
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.reporting import result_to_full_text
+from repro.core.database import FuzzyDatabase
+from repro.datasets.builder import build_database
+from repro.datasets.queries import generate_query_object
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kind", choices=("synthetic", "cells"), default="synthetic")
+    parser.add_argument("--n-objects", type=int, default=1000)
+    parser.add_argument("--points-per-object", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--space-size", type=float, default=100.0)
+
+
+def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--database", default=None, help="directory of a saved database")
+    _add_dataset_arguments(parser)
+    parser.add_argument("--k", type=int, default=20)
+    parser.add_argument("--query-seed", type=int, default=99)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="fuzzy-knn",
+        description="kNN search for fuzzy objects (SIGMOD 2010 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate and persist a database")
+    _add_dataset_arguments(generate)
+    generate.add_argument("--output", required=True, help="directory for the database")
+
+    aknn = subparsers.add_parser("aknn", help="run one ad-hoc kNN query")
+    _add_query_arguments(aknn)
+    aknn.add_argument("--alpha", type=float, default=0.5)
+    aknn.add_argument(
+        "--method", choices=("basic", "lb", "lb_lp", "lb_lp_ub"), default="lb_lp_ub"
+    )
+
+    rknn = subparsers.add_parser("rknn", help="run one range kNN query")
+    _add_query_arguments(rknn)
+    rknn.add_argument("--alpha-start", type=float, default=0.4)
+    rknn.add_argument("--alpha-end", type=float, default=0.6)
+    rknn.add_argument(
+        "--method", choices=("naive", "basic", "rss", "rss_icr"), default="rss_icr"
+    )
+
+    experiment = subparsers.add_parser("experiment", help="reproduce one paper figure")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    experiment.add_argument(
+        "--scale", choices=("tiny", "laptop", "paper"), default="laptop"
+    )
+    return parser
+
+
+def _load_or_build_database(args: argparse.Namespace) -> FuzzyDatabase:
+    if args.database:
+        return FuzzyDatabase.open(args.database)
+    return build_database(
+        kind=args.kind,
+        n_objects=args.n_objects,
+        points_per_object=args.points_per_object,
+        seed=args.seed,
+        space_size=args.space_size,
+    )
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    database = build_database(
+        kind=args.kind,
+        n_objects=args.n_objects,
+        points_per_object=args.points_per_object,
+        seed=args.seed,
+        space_size=args.space_size,
+        path=args.output,
+    )
+    database.save(args.output)
+    print(
+        f"wrote {len(database)} {args.kind} objects "
+        f"({args.points_per_object} points each) to {args.output}"
+    )
+    database.close()
+    return 0
+
+
+def _command_aknn(args: argparse.Namespace) -> int:
+    database = _load_or_build_database(args)
+    rng = np.random.default_rng(args.query_seed)
+    query = generate_query_object(
+        rng, kind=args.kind, space_size=args.space_size,
+        points_per_object=args.points_per_object,
+    )
+    result = database.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
+    print(f"AKNN(k={args.k}, alpha={args.alpha}, method={args.method})")
+    for neighbor in result.sorted_by_distance():
+        distance = (
+            f"{neighbor.distance:.4f}" if neighbor.distance is not None
+            else f"<= {neighbor.upper_bound:.4f}"
+        )
+        print(f"  object {neighbor.object_id:>6}  distance {distance}")
+    print(
+        f"cost: {result.stats.object_accesses} object accesses, "
+        f"{result.stats.node_accesses} node accesses, "
+        f"{result.stats.elapsed_seconds:.3f}s"
+    )
+    database.close()
+    return 0
+
+
+def _command_rknn(args: argparse.Namespace) -> int:
+    database = _load_or_build_database(args)
+    rng = np.random.default_rng(args.query_seed)
+    query = generate_query_object(
+        rng, kind=args.kind, space_size=args.space_size,
+        points_per_object=args.points_per_object,
+    )
+    alpha_range = (args.alpha_start, args.alpha_end)
+    result = database.rknn(query, k=args.k, alpha_range=alpha_range, method=args.method)
+    print(f"RKNN(k={args.k}, range=[{args.alpha_start}, {args.alpha_end}], method={args.method})")
+    for object_id in result.object_ids:
+        print(f"  object {object_id:>6}  qualifying {result.assignments[object_id]}")
+    print(
+        f"cost: {result.stats.object_accesses} object accesses, "
+        f"{result.stats.aknn_calls} AKNN calls, "
+        f"{result.stats.refinement_steps} refinement steps, "
+        f"{result.stats.elapsed_seconds:.3f}s"
+    )
+    database.close()
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    config = scale_for_name(args.scale)
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        result = run_experiment(name, config)
+        print(result_to_full_text(result))
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "aknn": _command_aknn,
+        "rknn": _command_rknn,
+        "experiment": _command_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through the console script
+    sys.exit(main())

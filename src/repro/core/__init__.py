@@ -1,0 +1,58 @@
+"""Core query processing: AKNN and RKNN search over fuzzy objects.
+
+The public entry point for most users is :class:`~repro.core.database.FuzzyDatabase`,
+which bundles the object store, the R-tree and the searchers behind a small
+API::
+
+    db = FuzzyDatabase.build(objects, path="./db")
+    result = db.aknn(query, k=20, alpha=0.5)
+    ranges = db.rknn(query, k=20, alpha_range=(0.3, 0.6))
+
+Lower-level pieces (individual search algorithms and their method variants)
+are exposed for experimentation and benchmarking:
+
+* :class:`~repro.core.aknn.AKNNSearcher` — Algorithms 1 and 2 with the LB,
+  LP and UB optimisations of Section 3.
+* :class:`~repro.core.rknn.RKNNSearcher` — the naive, basic, RSS and RSS-ICR
+  strategies of Section 4.
+* :class:`~repro.core.linear_scan.LinearScanSearcher` — the exact sequential
+  baseline used as ground truth in tests.
+"""
+
+from repro.core.results import (
+    AKNNResult,
+    Neighbor,
+    QueryStats,
+    RKNNResult,
+    RangeSearchResult,
+)
+from repro.core.query import PreparedQuery
+from repro.core.aknn import AKNNSearcher, AKNN_METHODS
+from repro.core.range_search import AlphaRangeSearcher
+from repro.core.rknn import RKNNSearcher, RKNN_METHODS
+from repro.core.linear_scan import LinearScanSearcher
+from repro.core.database import FuzzyDatabase
+from repro.core.join import AlphaDistanceJoin, JoinResult, JOIN_METHODS
+from repro.core.reverse_nn import ReverseAKNNSearcher, ReverseKNNResult, REVERSE_METHODS
+
+__all__ = [
+    "AKNNResult",
+    "Neighbor",
+    "QueryStats",
+    "RKNNResult",
+    "RangeSearchResult",
+    "PreparedQuery",
+    "AKNNSearcher",
+    "AKNN_METHODS",
+    "AlphaRangeSearcher",
+    "RKNNSearcher",
+    "RKNN_METHODS",
+    "LinearScanSearcher",
+    "FuzzyDatabase",
+    "AlphaDistanceJoin",
+    "JoinResult",
+    "JOIN_METHODS",
+    "ReverseAKNNSearcher",
+    "ReverseKNNResult",
+    "REVERSE_METHODS",
+]

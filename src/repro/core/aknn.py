@@ -1,0 +1,300 @@
+"""Ad-hoc kNN (AKNN) query processing — Section 3 of the paper.
+
+Four method variants are provided, matching the competitors of the
+experimental evaluation (Figures 11, 12 and 15):
+
+``basic``
+    Algorithm 1: best-first R-tree traversal where every leaf entry is keyed
+    by ``MinDist`` between the query alpha-cut MBR and the object's *support*
+    MBR, and every popped leaf is probed from the object store.
+
+``lb``
+    The improved lower bound of Section 3.2: leaf entries are keyed by
+    ``d-_alpha = MinDist(M_A(alpha)*, M_Q(alpha))`` where ``M_A(alpha)*`` is
+    reconstructed from the conservative lines stored in the leaf summary.
+
+``lb_lp``
+    Adds the lazy probe of Section 3.3 (Algorithm 2): popped leaf entries are
+    buffered instead of probed; a buffered candidate is emitted without any
+    probe when its upper bound (``MaxDist``) beats the lower bound of
+    everything still unexplored, and probes only happen when the buffer holds
+    more candidates than there are result slots left.
+
+``lb_lp_ub``
+    Adds the improved upper bound of Section 3.4 (Lemma 1): the upper bound
+    of a buffered candidate is the tighter of ``MaxDist`` and the distance
+    from the object's stored representative kernel point to a small sample of
+    the query alpha-cut.
+
+Implementation note (documented deviation from the pseudo-code of
+Algorithm 2): a candidate that has to be probed re-enters the candidate pool
+with its exact distance as both bounds, and emission into the result set is
+always guarded by the rank test "no more than k-1 objects can be strictly
+closer".  This is the same lazy-probing policy — probes are mandatory only on
+buffer overflow and tight upper bounds avoid them altogether — but it is
+robust to ties and to adversarial bound configurations, which the verbatim
+pseudo-code is not.  All four variants return a correct order-insensitive
+k-nearest-neighbour set (asserted against a linear scan in the test suite).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import RuntimeConfig
+from repro.core.query import PreparedQuery
+from repro.core.results import AKNNResult, Neighbor, QueryStats
+from repro.exceptions import InvalidQueryError
+from repro.fuzzy.fuzzy_object import FuzzyObject
+from repro.index.entry import LeafEntry
+from repro.index.rtree import RTree
+from repro.metrics.counters import MetricsCollector
+from repro.metrics.timer import Timer
+from repro.storage.object_store import ObjectStore
+
+AKNN_METHODS: Tuple[str, ...] = ("basic", "lb", "lb_lp", "lb_lp_ub")
+
+# Heap element kinds.
+_NODE = 0
+_LEAF = 1
+_OBJECT = 2
+
+
+class _Candidate:
+    """A leaf entry buffered by the lazy-probe variants."""
+
+    __slots__ = ("entry", "lower", "upper", "exact")
+
+    def __init__(self, entry: LeafEntry, lower: float, upper: float):
+        self.entry = entry
+        self.lower = lower
+        self.upper = upper
+        self.exact: Optional[float] = None
+
+    def settle(self, exact: float) -> None:
+        """Record the exact distance after a probe; bounds collapse onto it."""
+        self.exact = exact
+        self.lower = exact
+        self.upper = exact
+
+    @property
+    def probed(self) -> bool:
+        return self.exact is not None
+
+
+class AKNNSearcher:
+    """Answers AKNN queries over an object store + R-tree pair."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        tree: RTree,
+        config: Optional[RuntimeConfig] = None,
+    ):
+        self.store = store
+        self.tree = tree
+        self.config = (config or RuntimeConfig()).validate()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+        rng: Optional[np.random.Generator] = None,
+    ) -> AKNNResult:
+        """Return the ``k`` objects with smallest alpha-distance to ``query``."""
+        if k <= 0:
+            raise InvalidQueryError(f"k must be positive, got {k}")
+        if method not in AKNN_METHODS:
+            raise InvalidQueryError(
+                f"unknown AKNN method {method!r}; expected one of {AKNN_METHODS}"
+            )
+        metrics = MetricsCollector()
+        prepared = PreparedQuery(query, alpha, self.config, rng, metrics)
+        store_before = self.store.statistics.snapshot()
+        timer = Timer().start()
+
+        if method in ("basic", "lb"):
+            neighbors = self._eager_search(prepared, k, improved=(method == "lb"))
+        else:
+            neighbors = self._lazy_search(
+                prepared, k, use_representative_ub=(method == "lb_lp_ub")
+            )
+
+        elapsed = timer.stop()
+        stats = self._build_stats(metrics, store_before, elapsed)
+        return AKNNResult(neighbors=neighbors, k=k, alpha=alpha, method=method, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 (basic) and its LB refinement
+    # ------------------------------------------------------------------
+    def _eager_search(
+        self, prepared: PreparedQuery, k: int, improved: bool
+    ) -> List[Neighbor]:
+        metrics = prepared.metrics
+        counter = itertools.count()
+        heap: List[Tuple[float, int, int, object]] = []
+        if len(self.tree) > 0:
+            heapq.heappush(heap, (0.0, next(counter), _NODE, self.tree.root))
+        result: List[Neighbor] = []
+
+        while heap and len(result) < k:
+            key, _, kind, payload = heapq.heappop(heap)
+            if kind == _NODE:
+                metrics.increment(MetricsCollector.NODE_ACCESSES)
+                for entry in payload.entries:
+                    if isinstance(entry, LeafEntry):
+                        bound = (
+                            prepared.improved_lower_bound(entry.summary)
+                            if improved
+                            else prepared.simple_lower_bound(entry.summary)
+                        )
+                        heapq.heappush(heap, (bound, next(counter), _LEAF, entry))
+                    else:
+                        bound = prepared.node_lower_bound(entry.mbr)
+                        heapq.heappush(heap, (bound, next(counter), _NODE, entry.child))
+            elif kind == _LEAF:
+                obj = self.store.get(payload.object_id)
+                distance = prepared.distance_to(obj)
+                heapq.heappush(heap, (distance, next(counter), _OBJECT, payload.object_id))
+            else:
+                result.append(
+                    Neighbor(
+                        object_id=int(payload),
+                        distance=key,
+                        lower_bound=key,
+                        upper_bound=key,
+                        probed=True,
+                    )
+                )
+        return result
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 (lazy probe), with or without the improved upper bound
+    # ------------------------------------------------------------------
+    def _lazy_search(
+        self, prepared: PreparedQuery, k: int, use_representative_ub: bool
+    ) -> List[Neighbor]:
+        metrics = prepared.metrics
+        counter = itertools.count()
+        heap: List[Tuple[float, int, int, object]] = []
+        if len(self.tree) > 0:
+            heapq.heappush(heap, (0.0, next(counter), _NODE, self.tree.root))
+        buffer: List[_Candidate] = []
+        result: List[Neighbor] = []
+
+        def head_key() -> float:
+            return heap[0][0] if heap else float("inf")
+
+        def upper_bound(entry: LeafEntry) -> float:
+            if use_representative_ub:
+                return prepared.combined_upper_bound(entry.summary)
+            return prepared.maxdist_upper_bound(entry.summary)
+
+        def try_confirm() -> bool:
+            """Emit one buffered candidate that is provably in the top-k."""
+            if not buffer:
+                return False
+            hmin = head_key()
+            # Candidates are inspected best-upper-bound first.
+            for candidate in sorted(buffer, key=lambda c: (c.upper, c.entry.object_id)):
+                if candidate.upper > hmin:
+                    break
+                closer = sum(
+                    1
+                    for other in buffer
+                    if other is not candidate and other.lower < candidate.upper
+                )
+                if len(result) + closer <= k - 1:
+                    buffer.remove(candidate)
+                    result.append(
+                        Neighbor(
+                            object_id=candidate.entry.object_id,
+                            distance=candidate.exact,
+                            lower_bound=candidate.lower,
+                            upper_bound=candidate.upper,
+                            probed=candidate.probed,
+                        )
+                    )
+                    return True
+            return False
+
+        def probe(candidate: _Candidate) -> None:
+            obj = self.store.get(candidate.entry.object_id)
+            candidate.settle(prepared.distance_to(obj))
+
+        while len(result) < k and (heap or buffer):
+            if try_confirm():
+                continue
+            overflow = len(buffer) > k - len(result)
+            if overflow:
+                unprobed = [c for c in buffer if not c.probed]
+                if unprobed:
+                    # Mandatory probe: resolve the most promising unresolved
+                    # candidate, which tightens its bounds to the exact value.
+                    probe(min(unprobed, key=lambda c: (c.lower, c.entry.object_id)))
+                    continue
+                # Everything buffered is exact; only advancing the main queue
+                # (raising the unexplored lower bound) can unlock progress.
+            if not heap:
+                # No unexplored entries remain but the rank test is still
+                # inconclusive (possible only through ties): settle the best
+                # unprobed candidate to break the tie exactly.
+                unprobed = [c for c in buffer if not c.probed]
+                if not unprobed:
+                    # All exact and still not confirmable cannot happen, but
+                    # guard against it by emitting the closest candidate.
+                    best = min(buffer, key=lambda c: (c.upper, c.entry.object_id))
+                    buffer.remove(best)
+                    result.append(
+                        Neighbor(
+                            object_id=best.entry.object_id,
+                            distance=best.exact,
+                            lower_bound=best.lower,
+                            upper_bound=best.upper,
+                            probed=best.probed,
+                        )
+                    )
+                    continue
+                probe(min(unprobed, key=lambda c: (c.lower, c.entry.object_id)))
+                continue
+
+            key, _, kind, payload = heapq.heappop(heap)
+            if kind == _NODE:
+                metrics.increment(MetricsCollector.NODE_ACCESSES)
+                for entry in payload.entries:
+                    if isinstance(entry, LeafEntry):
+                        bound = prepared.improved_lower_bound(entry.summary)
+                        heapq.heappush(heap, (bound, next(counter), _LEAF, entry))
+                    else:
+                        bound = prepared.node_lower_bound(entry.mbr)
+                        heapq.heappush(heap, (bound, next(counter), _NODE, entry.child))
+            else:  # _LEAF
+                candidate = _Candidate(payload, lower=key, upper=upper_bound(payload))
+                buffer.append(candidate)
+        return result
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _build_stats(
+        self, metrics: MetricsCollector, store_before, elapsed: float
+    ) -> QueryStats:
+        delta_accesses = self.store.statistics.object_accesses - store_before.object_accesses
+        return QueryStats(
+            object_accesses=delta_accesses,
+            node_accesses=metrics.get(MetricsCollector.NODE_ACCESSES),
+            distance_evaluations=metrics.get(MetricsCollector.DISTANCE_EVALUATIONS),
+            lower_bound_evaluations=metrics.get(MetricsCollector.LOWER_BOUND_EVALUATIONS),
+            upper_bound_evaluations=metrics.get(MetricsCollector.UPPER_BOUND_EVALUATIONS),
+            aknn_calls=1,
+            elapsed_seconds=elapsed,
+        )

@@ -1,0 +1,325 @@
+"""The top-level facade bundling store, index and searchers.
+
+:class:`FuzzyDatabase` is what most users interact with::
+
+    from repro import FuzzyDatabase
+
+    db = FuzzyDatabase.build(objects, path="cells.db")
+    result = db.aknn(query, k=20, alpha=0.5)
+    ranges = db.rknn(query, k=20, alpha_range=(0.3, 0.6))
+
+It owns the object store (point sets on disk or in memory), the R-tree over
+per-object summaries, and one searcher per query type.  A database built on
+disk can be persisted (:meth:`FuzzyDatabase.save`) and re-opened later
+(:meth:`FuzzyDatabase.open`) without rebuilding summaries or re-fitting
+conservative lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import RuntimeConfig
+from repro.core.aknn import AKNNSearcher
+from repro.core.linear_scan import LinearScanSearcher
+from repro.core.range_search import AlphaRangeSearcher
+from repro.core.results import AKNNResult, RangeSearchResult, RKNNResult
+from repro.core.rknn import RKNNSearcher
+from repro.exceptions import StorageError
+from repro.fuzzy.fuzzy_object import FuzzyObject
+from repro.fuzzy.summary import FuzzyObjectSummary, build_summary
+from repro.index.rtree import RTree
+from repro.storage.object_store import ObjectStore
+
+# File names used by save() / open().
+_DATA_FILE = "objects.dat"
+_CATALOG_FILE = "catalog.json"
+_CATALOG_VERSION = 1
+
+
+class FuzzyDatabase:
+    """A searchable collection of fuzzy objects."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        tree: RTree,
+        summaries: Dict[int, FuzzyObjectSummary],
+        config: Optional[RuntimeConfig] = None,
+    ):
+        self.store = store
+        self.tree = tree
+        self.summaries = summaries
+        self.config = (config or RuntimeConfig()).validate()
+        self._aknn = AKNNSearcher(store, tree, self.config)
+        self._rknn = RKNNSearcher(store, tree, self.config)
+        self._range = AlphaRangeSearcher(store, tree, self.config)
+        self._linear = LinearScanSearcher(store, self.config)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        objects: Iterable[FuzzyObject],
+        path: Optional[os.PathLike | str] = None,
+        config: Optional[RuntimeConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "FuzzyDatabase":
+        """Build a database from an iterable of fuzzy objects.
+
+        Parameters
+        ----------
+        objects:
+            Fuzzy objects to load.  Objects without an id receive sequential
+            ids; explicit ids must be unique.
+        path:
+            Directory for the on-disk data file.  ``None`` keeps the point
+            sets in memory (useful for tests and small examples).
+        config:
+            Runtime configuration (R-tree fan-out, cache capacity, ...).
+        rng:
+            Randomness source for representative-point selection.
+        """
+        config = (config or RuntimeConfig()).validate()
+        data_path = None
+        if path is not None:
+            directory = Path(path)
+            directory.mkdir(parents=True, exist_ok=True)
+            data_path = directory / _DATA_FILE
+        store = ObjectStore(path=data_path, cache_capacity=config.cache_capacity)
+
+        summaries: Dict[int, FuzzyObjectSummary] = {}
+        for obj in objects:
+            object_id = store.put(obj)
+            if obj.object_id is None:
+                obj = obj.with_id(object_id)
+            summaries[object_id] = build_summary(obj, rng=rng)
+
+        tree = RTree.bulk_load(
+            list(summaries.values()),
+            max_entries=config.rtree_max_entries,
+            min_fill=config.rtree_min_fill,
+        )
+        return cls(store, tree, summaries, config)
+
+    @classmethod
+    def from_store(
+        cls,
+        store: ObjectStore,
+        config: Optional[RuntimeConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "FuzzyDatabase":
+        """Index an already-populated object store.
+
+        Summaries are computed by streaming the store without charging the
+        query-time access counter (this is an offline build step).
+        """
+        config = (config or RuntimeConfig()).validate()
+        summaries: Dict[int, FuzzyObjectSummary] = {}
+        for obj in store.iter_objects(count_accesses=False):
+            summaries[int(obj.object_id)] = build_summary(obj, rng=rng)
+        tree = RTree.bulk_load(
+            list(summaries.values()),
+            max_entries=config.rtree_max_entries,
+            min_fill=config.rtree_min_fill,
+        )
+        return cls(store, tree, summaries, config)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def aknn(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+        rng: Optional[np.random.Generator] = None,
+    ) -> AKNNResult:
+        """Ad-hoc kNN query (Definition 4)."""
+        return self._aknn.search(query, k, alpha, method=method, rng=rng)
+
+    def rknn(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha_range: Tuple[float, float],
+        method: str = "rss_icr",
+        aknn_method: str = "lb_lp_ub",
+        rng: Optional[np.random.Generator] = None,
+    ) -> RKNNResult:
+        """Range kNN query (Definition 5)."""
+        return self._rknn.search(
+            query, k, alpha_range, method=method, aknn_method=aknn_method, rng=rng
+        )
+
+    def range_search(
+        self,
+        query: FuzzyObject,
+        alpha: float,
+        radius: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> RangeSearchResult:
+        """All objects within ``radius`` of the query at threshold ``alpha``."""
+        return self._range.search(query, alpha, radius, rng=rng)
+
+    def reverse_aknn(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str = "pruned",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """Reverse AKNN query: objects that count ``query`` among their k nearest."""
+        from repro.core.reverse_nn import ReverseAKNNSearcher
+
+        searcher = ReverseAKNNSearcher(self.store, self.tree, self.config)
+        return searcher.search(query, k, alpha, method=method, rng=rng)
+
+    def distance_join(
+        self,
+        alpha: float,
+        epsilon: float,
+        other: Optional["FuzzyDatabase"] = None,
+        method: str = "index",
+    ):
+        """Alpha-distance join with ``other`` (self-join when omitted)."""
+        from repro.core.join import AlphaDistanceJoin
+
+        join = AlphaDistanceJoin(
+            self.store,
+            self.tree,
+            right_store=None if other is None else other.store,
+            right_tree=None if other is None else other.tree,
+            config=self.config,
+        )
+        return join.join(alpha, epsilon, method=method)
+
+    def linear_scan(self) -> LinearScanSearcher:
+        """The exhaustive baseline searcher (ground truth for tests)."""
+        return self._linear
+
+    def get_object(self, object_id: int) -> FuzzyObject:
+        """Probe one object from the store (counted as an object access)."""
+        return self.store.get(object_id)
+
+    # ------------------------------------------------------------------
+    # Introspection and statistics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def object_ids(self) -> List[int]:
+        """Ids of every stored object."""
+        return self.store.object_ids()
+
+    def reset_statistics(self) -> None:
+        """Zero the store's access counters before a measured query."""
+        self.store.reset_statistics()
+
+    @property
+    def object_accesses(self) -> int:
+        """Object accesses since the last :meth:`reset_statistics`."""
+        return self.store.access_count
+
+    def validate(self) -> None:
+        """Check index invariants (raises on violation)."""
+        self.tree.validate()
+        if len(self.tree) != len(self.store):
+            raise StorageError(
+                f"index holds {len(self.tree)} entries but the store has "
+                f"{len(self.store)} objects"
+            )
+
+    def close(self) -> None:
+        """Close the backing data file."""
+        self.store.close()
+
+    def __enter__(self) -> "FuzzyDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: os.PathLike | str) -> Path:
+        """Write the catalogue (summaries + slot table) next to the data file.
+
+        The database must have been built with an on-disk ``path``; the data
+        file itself is already on disk, so only the catalogue is written.
+        Returns the catalogue path.
+        """
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        catalog = {
+            "version": _CATALOG_VERSION,
+            "config": {
+                "rtree_max_entries": self.config.rtree_max_entries,
+                "rtree_min_fill": self.config.rtree_min_fill,
+                "upper_bound_samples": self.config.upper_bound_samples,
+                "cache_capacity": self.config.cache_capacity,
+            },
+            "slots": {
+                str(oid): list(slot) for oid, slot in self.store.slot_table().items()
+            },
+            "summaries": [summary.to_dict() for summary in self.summaries.values()],
+        }
+        catalog_path = directory / _CATALOG_FILE
+        with open(catalog_path, "w", encoding="utf-8") as handle:
+            json.dump(catalog, handle)
+        return catalog_path
+
+    @classmethod
+    def open(
+        cls,
+        path: os.PathLike | str,
+        config: Optional[RuntimeConfig] = None,
+    ) -> "FuzzyDatabase":
+        """Re-open a database previously written by :meth:`save`."""
+        directory = Path(path)
+        catalog_path = directory / _CATALOG_FILE
+        data_path = directory / _DATA_FILE
+        if not catalog_path.exists() or not data_path.exists():
+            raise StorageError(f"no saved database found under {directory}")
+        with open(catalog_path, "r", encoding="utf-8") as handle:
+            catalog = json.load(handle)
+        if catalog.get("version") != _CATALOG_VERSION:
+            raise StorageError(
+                f"unsupported catalogue version {catalog.get('version')!r}"
+            )
+        if config is None:
+            stored = catalog.get("config", {})
+            config = RuntimeConfig(
+                upper_bound_samples=int(stored.get("upper_bound_samples", 8)),
+                rtree_max_entries=int(stored.get("rtree_max_entries", 32)),
+                rtree_min_fill=float(stored.get("rtree_min_fill", 0.4)),
+                cache_capacity=int(stored.get("cache_capacity", 0)),
+            )
+        config = config.validate()
+        slot_table = {
+            int(oid): (int(slot[0]), int(slot[1]))
+            for oid, slot in catalog["slots"].items()
+        }
+        store = ObjectStore.open_existing(
+            data_path, slot_table, cache_capacity=config.cache_capacity
+        )
+        summaries = {
+            int(payload["object_id"]): FuzzyObjectSummary.from_dict(payload)
+            for payload in catalog["summaries"]
+        }
+        tree = RTree.bulk_load(
+            list(summaries.values()),
+            max_entries=config.rtree_max_entries,
+            min_fill=config.rtree_min_fill,
+        )
+        return cls(store, tree, summaries, config)

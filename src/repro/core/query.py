@@ -1,0 +1,113 @@
+"""Query-side state shared by the search algorithms.
+
+A :class:`PreparedQuery` fixes the query fuzzy object and the probability
+threshold ``alpha`` and precomputes everything the bounds of Section 3 need:
+
+* ``Q_alpha`` — the query alpha-cut and its MBR ``M_Q(alpha)``,
+* ``Q'_alpha`` — the small sample of the alpha-cut used by the improved upper
+  bound (Lemma 1),
+* cheap accessors for the three bounds evaluated against a leaf summary:
+  the *simple* lower bound (``MinDist`` of support MBRs, Algorithm 1), the
+  *improved* lower bound ``d-_alpha`` (Equation 2 + ``MinDist``) and the two
+  upper bounds ``d+_alpha`` (``MaxDist`` and the representative/sample bound).
+
+The prepared query also evaluates exact alpha-distances against probed
+objects, charging the metric counters as it goes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import RuntimeConfig
+from repro.exceptions import InvalidQueryError
+from repro.fuzzy.alpha_distance import alpha_distance_points
+from repro.fuzzy.fuzzy_object import FuzzyObject
+from repro.fuzzy.summary import FuzzyObjectSummary
+from repro.geometry.distance import point_to_set_distance
+from repro.geometry.mbr import MBR, max_dist, min_dist
+from repro.metrics.counters import MetricsCollector
+
+
+class PreparedQuery:
+    """A query object bound to one probability threshold."""
+
+    def __init__(
+        self,
+        query: FuzzyObject,
+        alpha: float,
+        config: Optional[RuntimeConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise InvalidQueryError(f"alpha must be in (0, 1], got {alpha}")
+        self.query = query
+        self.alpha = float(alpha)
+        self.config = (config or RuntimeConfig()).validate()
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+
+        self.query_cut = query.alpha_cut(alpha)
+        self.query_mbr = MBR.from_points(self.query_cut)
+        self.query_samples = query.sample_alpha_cut(
+            alpha, self.config.upper_bound_samples, rng
+        )
+
+    # ------------------------------------------------------------------
+    # Bounds against index entries
+    # ------------------------------------------------------------------
+    def node_lower_bound(self, mbr: MBR) -> float:
+        """``MinDist`` between ``M_Q(alpha)`` and an internal node's MBR."""
+        return min_dist(self.query_mbr, mbr)
+
+    def simple_lower_bound(self, summary: FuzzyObjectSummary) -> float:
+        """The basic algorithm's bound: ``MinDist(M_Q(alpha), M_A)``."""
+        self.metrics.increment(MetricsCollector.LOWER_BOUND_EVALUATIONS)
+        return min_dist(self.query_mbr, summary.support_mbr)
+
+    def improved_lower_bound(self, summary: FuzzyObjectSummary) -> float:
+        """``d-_alpha(A, Q) = MinDist(M_A(alpha)*, M_Q(alpha))`` (Section 3.2)."""
+        self.metrics.increment(MetricsCollector.LOWER_BOUND_EVALUATIONS)
+        return min_dist(self.query_mbr, summary.approx_alpha_mbr(self.alpha))
+
+    def maxdist_upper_bound(self, summary: FuzzyObjectSummary) -> float:
+        """``MaxDist(M_A(alpha)*, M_Q(alpha))`` — the lazy-probe upper bound."""
+        self.metrics.increment(MetricsCollector.UPPER_BOUND_EVALUATIONS)
+        return max_dist(self.query_mbr, summary.approx_alpha_mbr(self.alpha))
+
+    def representative_upper_bound(self, summary: FuzzyObjectSummary) -> float:
+        """``min_{q in Q'_alpha} ||rep(A) - q||`` — the Lemma 1 upper bound.
+
+        ``rep(A)`` is a kernel point, so it belongs to every alpha-cut of
+        ``A``; every sampled ``q`` belongs to ``Q_alpha``; hence any such pair
+        distance upper-bounds the alpha-distance.
+        """
+        self.metrics.increment(MetricsCollector.UPPER_BOUND_EVALUATIONS)
+        return point_to_set_distance(summary.representative, self.query_samples)
+
+    def combined_upper_bound(self, summary: FuzzyObjectSummary) -> float:
+        """The tighter of the MaxDist and representative/sample upper bounds."""
+        return min(
+            self.maxdist_upper_bound(summary),
+            self.representative_upper_bound(summary),
+        )
+
+    # ------------------------------------------------------------------
+    # Exact distances
+    # ------------------------------------------------------------------
+    def distance_to(self, obj: FuzzyObject) -> float:
+        """Exact ``d_alpha(A, Q)`` against a probed object."""
+        self.metrics.increment(MetricsCollector.DISTANCE_EVALUATIONS)
+        return alpha_distance_points(
+            obj.alpha_cut(self.alpha),
+            self.query_cut,
+            use_kdtree=self.config.use_kdtree,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery(alpha={self.alpha}, cut={self.query_cut.shape[0]} pts, "
+            f"samples={self.query_samples.shape[0]})"
+        )

@@ -1,0 +1,212 @@
+"""Reverse kNN over fuzzy objects — the paper's second proposed follow-up query.
+
+Given a query fuzzy object ``Q``, a threshold ``alpha`` and a result size
+``k``, the reverse AKNN query returns every dataset object ``A`` that counts
+``Q`` among its own ``k`` nearest neighbours at ``alpha`` (monochromatic
+semantics: ``A``'s neighbours are drawn from the dataset without ``A`` itself,
+plus ``Q``).
+
+Two strategies are provided:
+
+``linear``
+    For every object ``A``: evaluate ``d_alpha(A, Q)`` and count how many
+    dataset objects are strictly closer to ``A``; ``A`` is a reverse
+    neighbour when fewer than ``k`` are.  Exact, O(N) AKNN-equivalents.
+
+``pruned``
+    Same verification, but candidates are filtered first: by Lemma-style
+    reasoning an object ``A`` can only be a reverse neighbour if fewer than
+    ``k`` objects have a *lower bound* below ``A``'s *upper bound* to ``Q``,
+    both of which are computed from the in-memory summaries without touching
+    the store.  Only surviving candidates pay the exact verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import RuntimeConfig
+from repro.core.aknn import AKNNSearcher
+from repro.core.query import PreparedQuery
+from repro.core.results import QueryStats
+from repro.exceptions import InvalidQueryError
+from repro.fuzzy.alpha_distance import alpha_distance_points
+from repro.fuzzy.fuzzy_object import FuzzyObject
+from repro.geometry.mbr import max_dist, min_dist
+from repro.index.rtree import RTree
+from repro.metrics.counters import MetricsCollector
+from repro.metrics.timer import Timer
+from repro.storage.object_store import ObjectStore
+
+REVERSE_METHODS: Tuple[str, ...] = ("linear", "pruned")
+
+
+@dataclass
+class ReverseKNNResult:
+    """Answer of a reverse AKNN query."""
+
+    object_ids: List[int]
+    distances: Dict[int, float]
+    k: int
+    alpha: float
+    method: str
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __len__(self) -> int:
+        return len(self.object_ids)
+
+
+class ReverseAKNNSearcher:
+    """Answers reverse AKNN queries over an object store + R-tree pair."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        tree: RTree,
+        config: Optional[RuntimeConfig] = None,
+    ):
+        self.store = store
+        self.tree = tree
+        self.config = (config or RuntimeConfig()).validate()
+        self.aknn = AKNNSearcher(store, tree, self.config)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str = "pruned",
+        rng: Optional[np.random.Generator] = None,
+    ) -> ReverseKNNResult:
+        """Every object that has ``query`` among its k nearest neighbours."""
+        if k <= 0:
+            raise InvalidQueryError(f"k must be positive, got {k}")
+        if not 0.0 < alpha <= 1.0:
+            raise InvalidQueryError(f"alpha must be in (0, 1], got {alpha}")
+        if method not in REVERSE_METHODS:
+            raise InvalidQueryError(
+                f"unknown reverse-kNN method {method!r}; expected one of {REVERSE_METHODS}"
+            )
+        metrics = MetricsCollector()
+        before = self.store.statistics.snapshot()
+        timer = Timer().start()
+
+        candidate_ids = self._candidate_ids(query, k, alpha, method, metrics, rng)
+        object_ids, distances = self._verify(query, k, alpha, candidate_ids, metrics)
+
+        stats = QueryStats(
+            object_accesses=self.store.statistics.object_accesses - before.object_accesses,
+            node_accesses=metrics.get(MetricsCollector.NODE_ACCESSES),
+            distance_evaluations=metrics.get(MetricsCollector.DISTANCE_EVALUATIONS),
+            lower_bound_evaluations=metrics.get(MetricsCollector.LOWER_BOUND_EVALUATIONS),
+            upper_bound_evaluations=metrics.get(MetricsCollector.UPPER_BOUND_EVALUATIONS),
+            elapsed_seconds=timer.stop(),
+            extra={"candidates": float(len(candidate_ids))},
+        )
+        return ReverseKNNResult(
+            object_ids=sorted(object_ids),
+            distances=distances,
+            k=k,
+            alpha=alpha,
+            method=method,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Candidate filtering
+    # ------------------------------------------------------------------
+    def _candidate_ids(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str,
+        metrics: MetricsCollector,
+        rng: Optional[np.random.Generator],
+    ) -> List[int]:
+        all_ids = self.store.object_ids()
+        if method == "linear":
+            return all_ids
+
+        # Pruned: work entirely on the in-memory summaries.  For a candidate
+        # A, an upper bound on d_alpha(A, Q) is MaxDist of the approximated
+        # alpha-cut MBRs; a lower bound on d_alpha(A, B) for any other B is
+        # MinDist of their approximated MBRs.  If at least k other objects
+        # have a lower bound to A that is smaller than A's upper bound to Q,
+        # A may still be a reverse neighbour — only the opposite (k objects
+        # *certainly* closer than Q can ever be) disqualifies A.
+        prepared = PreparedQuery(query, alpha, self.config, rng, metrics)
+        summaries = {entry.object_id: entry.summary for entry in self.tree.leaf_entries()}
+        approx = {
+            object_id: summary.approx_alpha_mbr(alpha)
+            for object_id, summary in summaries.items()
+        }
+        candidates: List[int] = []
+        for object_id, summary in summaries.items():
+            certainly_closer = 0
+            for other_id, other_mbr in approx.items():
+                if other_id == object_id:
+                    continue
+                metrics.increment(MetricsCollector.LOWER_BOUND_EVALUATIONS)
+                # MaxDist(A, B) < the lower bound of d(A, Q) would be the
+                # certain disqualifier; use the conservative pair of bounds.
+                if max_dist(approx[object_id], other_mbr) < min_dist(
+                    approx[object_id], prepared.query_mbr
+                ):
+                    certainly_closer += 1
+                    if certainly_closer >= k:
+                        break
+            if certainly_closer < k:
+                candidates.append(object_id)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Exact verification
+    # ------------------------------------------------------------------
+    def _verify(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        candidate_ids: List[int],
+        metrics: MetricsCollector,
+    ) -> Tuple[List[int], Dict[int, float]]:
+        query_cut = query.alpha_cut(alpha)
+        results: List[int] = []
+        distances: Dict[int, float] = {}
+        for object_id in candidate_ids:
+            candidate = self.store.get(object_id)
+            metrics.increment(MetricsCollector.DISTANCE_EVALUATIONS)
+            distance_to_query = alpha_distance_points(
+                candidate.alpha_cut(alpha), query_cut, use_kdtree=self.config.use_kdtree
+            )
+            # Q is among the candidate's k nearest neighbours iff fewer than k
+            # dataset objects (excluding the candidate itself) are strictly
+            # closer to it than Q.  Ask the index for the candidate's k+1
+            # nearest (the candidate itself is returned at distance zero).
+            neighbours = self.aknn.search(candidate, k=k + 1, alpha=alpha, method="lb_lp_ub")
+            closer = 0
+            for neighbour in neighbours.neighbors:
+                if neighbour.object_id == object_id:
+                    continue
+                exact = neighbour.distance
+                if exact is None:
+                    other = self.store.get(neighbour.object_id)
+                    metrics.increment(MetricsCollector.DISTANCE_EVALUATIONS)
+                    exact = alpha_distance_points(
+                        candidate.alpha_cut(alpha),
+                        other.alpha_cut(alpha),
+                        use_kdtree=self.config.use_kdtree,
+                    )
+                if exact < distance_to_query:
+                    closer += 1
+            if closer < k:
+                results.append(object_id)
+                distances[object_id] = distance_to_query
+        return results, distances

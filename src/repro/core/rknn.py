@@ -1,0 +1,484 @@
+"""Range kNN (RKNN) query processing — Section 4 of the paper.
+
+An RKNN query (Definition 5) asks for every object that is a k nearest
+neighbour at *some* probability threshold inside ``[alpha_start, alpha_end]``,
+together with its qualifying range.  Four method variants are provided,
+matching Section 4 and the competitors of Figures 13 and 14:
+
+``naive``
+    Issue one AKNN query at every distinct membership value of the dataset
+    that falls inside the probability range (the paper's strawman; its cost
+    is prohibitive for anything but toy datasets).
+
+``basic``
+    Algorithm 3: sweep the range with repeated AKNN queries, jumping from one
+    critical probability (Definition 7) to the next using Lemma 2, so only a
+    small fraction of the membership values is visited.
+
+``rss``
+    Algorithm 4 (Reducing Search Space, Lemma 3): one AKNN query at
+    ``alpha_end`` fixes a radius; one range search at ``alpha_start`` collects
+    the complete candidate set; the sweep of Algorithm 3 then runs entirely
+    in memory over the candidates.
+
+``rss_icr``
+    Algorithm 5 (Improved Candidate Refinement, Lemma 4): same candidate set
+    as ``rss``, but each confirmed neighbour is granted a *safe range* that
+    extends as long as its distance stays below the (k+1)-th neighbour
+    distance, so far fewer critical probabilities have to be checked.
+
+All variants return the same qualifying ranges as the exhaustive
+:class:`~repro.core.linear_scan.LinearScanSearcher` (asserted by the test
+suite); they differ in the number of object accesses and refinement steps.
+
+Interval convention: the elementary piece ``(a, b]`` of the piecewise-constant
+distance functions is reported as the closed interval ``[a, b]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import RKNN_EPSILON, RuntimeConfig
+from repro.core.aknn import AKNNSearcher
+from repro.core.linear_scan import rank_objects
+from repro.core.query import PreparedQuery
+from repro.core.range_search import AlphaRangeSearcher
+from repro.core.results import QueryStats, RKNNResult
+from repro.exceptions import InvalidQueryError
+from repro.fuzzy.alpha_distance import alpha_distance, distance_profile
+from repro.fuzzy.fuzzy_object import FuzzyObject
+from repro.fuzzy.intervals import IntervalSet
+from repro.fuzzy.profile import DistanceProfile
+from repro.metrics.counters import MetricsCollector
+from repro.metrics.timer import Timer
+from repro.storage.object_store import ObjectStore
+
+RKNN_METHODS: Tuple[str, ...] = ("naive", "basic", "rss", "rss_icr")
+
+# Numerical slack when comparing probability thresholds.
+_ALPHA_TOL = 1e-12
+
+
+class RKNNSearcher:
+    """Answers RKNN queries over an object store + R-tree pair.
+
+    Parameters
+    ----------
+    store:
+        Object store holding the full point sets.
+    tree:
+        R-tree over the corresponding summaries.
+    config:
+        Runtime knobs shared with the underlying AKNN / range searchers.
+    """
+
+    def __init__(self, store: ObjectStore, tree, config: Optional[RuntimeConfig] = None):
+        self.store = store
+        self.tree = tree
+        self.config = (config or RuntimeConfig()).validate()
+        self.aknn_searcher = AKNNSearcher(store, tree, self.config)
+        self.range_searcher = AlphaRangeSearcher(store, tree, self.config)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha_range: Tuple[float, float],
+        method: str = "rss_icr",
+        aknn_method: str = "lb_lp_ub",
+        rng: Optional[np.random.Generator] = None,
+    ) -> RKNNResult:
+        """Return every object qualifying somewhere in ``alpha_range``."""
+        if k <= 0:
+            raise InvalidQueryError(f"k must be positive, got {k}")
+        if method not in RKNN_METHODS:
+            raise InvalidQueryError(
+                f"unknown RKNN method {method!r}; expected one of {RKNN_METHODS}"
+            )
+        alpha_start, alpha_end = self._validate_range(alpha_range)
+        stats = QueryStats()
+        before = self.store.statistics.snapshot()
+        timer = Timer().start()
+
+        if method == "naive":
+            assignments = self._search_naive(
+                query, k, alpha_start, alpha_end, aknn_method, rng, stats
+            )
+        elif method == "basic":
+            assignments = self._search_basic(
+                query, k, alpha_start, alpha_end, aknn_method, rng, stats
+            )
+        else:
+            assignments = self._search_rss(
+                query,
+                k,
+                alpha_start,
+                alpha_end,
+                aknn_method,
+                rng,
+                stats,
+                improved_refinement=(method == "rss_icr"),
+            )
+
+        stats.elapsed_seconds = timer.stop()
+        stats.object_accesses = (
+            self.store.statistics.object_accesses - before.object_accesses
+        )
+        return RKNNResult(
+            assignments=assignments,
+            k=k,
+            alpha_range=(alpha_start, alpha_end),
+            method=method,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Naive: one AKNN query per dataset membership level in the range
+    # ------------------------------------------------------------------
+    def _search_naive(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha_start: float,
+        alpha_end: float,
+        aknn_method: str,
+        rng: Optional[np.random.Generator],
+        stats: QueryStats,
+    ) -> Dict[int, IntervalSet]:
+        boundaries = self._dataset_levels_in_range(alpha_start, alpha_end)
+        assignments: Dict[int, IntervalSet] = {}
+        piece_start = alpha_start
+        for boundary in boundaries:
+            result = self.aknn_searcher.search(
+                query, k, min(boundary, 1.0), method=aknn_method, rng=rng
+            )
+            self._merge_substats(stats, result.stats)
+            for object_id in result.object_ids:
+                assignments.setdefault(object_id, IntervalSet()).add_range(
+                    piece_start, boundary
+                )
+            stats.refinement_steps += 1
+            piece_start = boundary
+        return assignments
+
+    def _dataset_levels_in_range(self, alpha_start: float, alpha_end: float) -> List[float]:
+        """``U_D`` restricted to the query range (right endpoints of all pieces).
+
+        The naive method needs the universe of membership values, which can
+        only be learned by reading every object — exactly why the paper calls
+        its cost prohibitive.  The closed left endpoint of the range is
+        evaluated as its own degenerate piece (see
+        :func:`repro.core.linear_scan.evaluate_piecewise`).
+        """
+        levels: set = set()
+        for object_id in self.store.object_ids():
+            obj = self.store.get(object_id)
+            for level in obj.distinct_memberships():
+                if alpha_start < level < alpha_end:
+                    levels.add(float(level))
+        boundaries = [alpha_start]
+        boundaries.extend(sorted(levels))
+        boundaries.append(alpha_end)
+        return boundaries
+
+    # ------------------------------------------------------------------
+    # Basic: Algorithm 3 (critical-probability sweep with repeated AKNN)
+    # ------------------------------------------------------------------
+    def _search_basic(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha_start: float,
+        alpha_end: float,
+        aknn_method: str,
+        rng: Optional[np.random.Generator],
+        stats: QueryStats,
+    ) -> Dict[int, IntervalSet]:
+        assignments: Dict[int, IntervalSet] = {}
+        profile_cache: Dict[int, DistanceProfile] = {}
+        piece_start = alpha_start
+        evaluation_point = alpha_start
+
+        while True:
+            result = self.aknn_searcher.search(
+                query, k, min(evaluation_point, 1.0), method=aknn_method, rng=rng
+            )
+            self._merge_substats(stats, result.stats)
+            nn_ids = result.object_ids
+            if not nn_ids:
+                break
+            ends = []
+            for object_id in nn_ids:
+                profile = self._profile_for(object_id, query, alpha_end, profile_cache)
+                ends.append(profile.next_critical(min(evaluation_point, 1.0)))
+            alpha_star = min(ends)
+            piece_end = min(alpha_star, alpha_end)
+            for object_id in nn_ids:
+                assignments.setdefault(object_id, IntervalSet()).add_range(
+                    piece_start, piece_end
+                )
+            stats.refinement_steps += 1
+            if alpha_star >= alpha_end - _ALPHA_TOL:
+                break
+            piece_start = alpha_star
+            evaluation_point = alpha_star + RKNN_EPSILON
+        return assignments
+
+    def _profile_for(
+        self,
+        object_id: int,
+        query: FuzzyObject,
+        alpha_end: float,
+        cache: Dict[int, DistanceProfile],
+    ) -> DistanceProfile:
+        """Distance profile of one object, probing the store at most once."""
+        if object_id not in cache:
+            obj = self.store.get(object_id)
+            cache[object_id] = distance_profile(
+                obj, query, use_kdtree=self.config.use_kdtree, max_level=alpha_end
+            )
+        return cache[object_id]
+
+    # ------------------------------------------------------------------
+    # RSS / RSS-ICR: Algorithms 4 and 5
+    # ------------------------------------------------------------------
+    def _search_rss(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha_start: float,
+        alpha_end: float,
+        aknn_method: str,
+        rng: Optional[np.random.Generator],
+        stats: QueryStats,
+        improved_refinement: bool,
+    ) -> Dict[int, IntervalSet]:
+        profiles = self._collect_candidates(
+            query, k, alpha_start, alpha_end, aknn_method, rng, stats
+        )
+        if not profiles:
+            return {}
+        if improved_refinement:
+            return refine_candidates_icr(profiles, k, alpha_start, alpha_end, stats)
+        return refine_candidates_basic(profiles, k, alpha_start, alpha_end, stats)
+
+    def _collect_candidates(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha_start: float,
+        alpha_end: float,
+        aknn_method: str,
+        rng: Optional[np.random.Generator],
+        stats: QueryStats,
+    ) -> Dict[int, DistanceProfile]:
+        """Lemma 3 pruning: one AKNN at the range end, one range search at the start."""
+        result_end = self.aknn_searcher.search(
+            query, k, alpha_end, method=aknn_method, rng=rng
+        )
+        self._merge_substats(stats, result_end.stats)
+        radius = self._exact_kth_distance(result_end.neighbors, query, alpha_end)
+
+        metrics = MetricsCollector()
+        prepared = PreparedQuery(query, alpha_start, self.config, rng, metrics)
+        matches, objects = self.range_searcher.collect(prepared, radius)
+        stats.range_calls += 1
+        stats.node_accesses += metrics.get(MetricsCollector.NODE_ACCESSES)
+        stats.distance_evaluations += metrics.get(MetricsCollector.DISTANCE_EVALUATIONS)
+        stats.lower_bound_evaluations += metrics.get(
+            MetricsCollector.LOWER_BOUND_EVALUATIONS
+        )
+        stats.extra["candidates"] = stats.extra.get("candidates", 0.0) + len(matches)
+
+        profiles: Dict[int, DistanceProfile] = {}
+        for object_id, _ in matches:
+            profiles[object_id] = distance_profile(
+                objects[object_id],
+                query,
+                use_kdtree=self.config.use_kdtree,
+                max_level=alpha_end,
+            )
+        return profiles
+
+    def _exact_kth_distance(
+        self, neighbors, query: FuzzyObject, alpha: float
+    ) -> float:
+        """Exact k-th neighbour distance, probing lazily-confirmed neighbours."""
+        radius = 0.0
+        for neighbor in neighbors:
+            if neighbor.distance is not None:
+                distance = neighbor.distance
+            else:
+                obj = self.store.get(neighbor.object_id)
+                distance = alpha_distance(
+                    obj, query, alpha, use_kdtree=self.config.use_kdtree
+                )
+            radius = max(radius, distance)
+        return radius
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge_substats(stats: QueryStats, sub: QueryStats) -> None:
+        """Accumulate a sub-query's counters, except object accesses.
+
+        Object accesses are charged once for the whole RKNN call from the
+        store's own counter, so they must not be double counted here.
+        """
+        stats.node_accesses += sub.node_accesses
+        stats.distance_evaluations += sub.distance_evaluations
+        stats.lower_bound_evaluations += sub.lower_bound_evaluations
+        stats.upper_bound_evaluations += sub.upper_bound_evaluations
+        stats.aknn_calls += sub.aknn_calls
+        stats.range_calls += sub.range_calls
+
+    @staticmethod
+    def _validate_range(alpha_range: Tuple[float, float]) -> Tuple[float, float]:
+        alpha_start, alpha_end = float(alpha_range[0]), float(alpha_range[1])
+        if not 0.0 < alpha_start <= 1.0 or not 0.0 < alpha_end <= 1.0:
+            raise InvalidQueryError(
+                f"alpha range endpoints must be in (0, 1], got {alpha_range}"
+            )
+        if alpha_end < alpha_start:
+            raise InvalidQueryError(
+                f"alpha range start {alpha_start} exceeds end {alpha_end}"
+            )
+        return alpha_start, alpha_end
+
+
+# ----------------------------------------------------------------------
+# In-memory candidate refinement (shared by RSS and RSS-ICR)
+# ----------------------------------------------------------------------
+def refine_candidates_basic(
+    profiles: Dict[int, DistanceProfile],
+    k: int,
+    alpha_start: float,
+    alpha_end: float,
+    stats: Optional[QueryStats] = None,
+) -> Dict[int, IntervalSet]:
+    """Algorithm 3's sweep evaluated entirely over in-memory candidates.
+
+    At each step the current k nearest candidates are granted the interval up
+    to the smallest critical probability among them (Lemma 2), and the sweep
+    jumps to the next membership level beyond it.
+    """
+    assignments: Dict[int, IntervalSet] = {}
+    combined_levels = _combined_levels(profiles)
+    piece_start = alpha_start
+    evaluation_point = alpha_start
+
+    while True:
+        distances = {
+            object_id: profile.value(min(evaluation_point, 1.0))
+            for object_id, profile in profiles.items()
+        }
+        top, _, _ = rank_objects(distances, k)
+        if not top:
+            break
+        ends = [
+            profiles[object_id].next_critical(min(evaluation_point, 1.0))
+            for object_id in top
+        ]
+        alpha_star = min(ends)
+        piece_end = min(alpha_star, alpha_end)
+        for object_id in top:
+            assignments.setdefault(object_id, IntervalSet()).add_range(
+                piece_start, piece_end
+            )
+        if stats is not None:
+            stats.refinement_steps += 1
+        if alpha_star >= alpha_end - _ALPHA_TOL:
+            break
+        piece_start = alpha_star
+        evaluation_point = _next_evaluation_point(combined_levels, alpha_star, alpha_end)
+    return assignments
+
+
+def refine_candidates_icr(
+    profiles: Dict[int, DistanceProfile],
+    k: int,
+    alpha_start: float,
+    alpha_end: float,
+    stats: Optional[QueryStats] = None,
+) -> Dict[int, IntervalSet]:
+    """Algorithm 5: improved candidate refinement using Lemma 4 safe ranges.
+
+    Each confirmed neighbour ``A`` is granted an interval extending to the
+    largest membership level at which its distance is still strictly below
+    the (k+1)-th neighbour distance of the current step — usually much larger
+    than the Lemma 2 step, so far fewer critical probabilities are visited.
+    """
+    assignments: Dict[int, IntervalSet] = {}
+    combined_levels = _combined_levels(profiles)
+    piece_start = alpha_start
+    evaluation_point = alpha_start
+
+    while True:
+        distances = {
+            object_id: profile.value(min(evaluation_point, 1.0))
+            for object_id, profile in profiles.items()
+        }
+        top, _, d_k_plus_1 = rank_objects(distances, k)
+        if not top:
+            break
+        safe_ends = []
+        for object_id in top:
+            profile = profiles[object_id]
+            if not math.isfinite(d_k_plus_1):
+                # Fewer than k+1 candidates: everything stays a neighbour.
+                beta = alpha_end
+            else:
+                beta = profile.max_level_with_distance_below(
+                    d_k_plus_1, min(evaluation_point, 1.0)
+                )
+                if beta is None:
+                    # Distance ties the (k+1)-th: only the current piece is
+                    # certain, which is exactly what Lemma 2 already grants.
+                    beta = _current_piece_end(combined_levels, evaluation_point, alpha_end)
+            beta = min(beta, alpha_end)
+            beta = max(beta, min(evaluation_point, alpha_end))
+            safe_ends.append(beta)
+            assignments.setdefault(object_id, IntervalSet()).add_range(piece_start, beta)
+        if stats is not None:
+            stats.refinement_steps += 1
+        barrier = min(safe_ends)
+        if barrier >= alpha_end - _ALPHA_TOL:
+            break
+        piece_start = barrier
+        evaluation_point = _next_evaluation_point(combined_levels, barrier, alpha_end)
+    return assignments
+
+
+def _combined_levels(profiles: Dict[int, DistanceProfile]) -> np.ndarray:
+    """Sorted union of the membership levels of all candidate profiles."""
+    if not profiles:
+        return np.asarray([], dtype=float)
+    return np.unique(np.concatenate([p.levels for p in profiles.values()]))
+
+
+def _next_evaluation_point(
+    combined_levels: np.ndarray, barrier: float, alpha_end: float
+) -> float:
+    """First membership level strictly above ``barrier`` (clamped at the range end)."""
+    idx = int(np.searchsorted(combined_levels, barrier + _ALPHA_TOL, side="left"))
+    if idx >= combined_levels.size:
+        return alpha_end
+    return min(float(combined_levels[idx]), alpha_end)
+
+
+def _current_piece_end(
+    combined_levels: np.ndarray, evaluation_point: float, alpha_end: float
+) -> float:
+    """Right endpoint of the elementary piece containing ``evaluation_point``."""
+    idx = int(np.searchsorted(combined_levels, evaluation_point - _ALPHA_TOL, side="left"))
+    if idx >= combined_levels.size:
+        return alpha_end
+    return min(float(combined_levels[idx]), alpha_end)

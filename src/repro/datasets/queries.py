@@ -1,0 +1,53 @@
+"""Query-object generators used by examples, tests and the benchmark harness.
+
+The paper issues queries that are themselves fuzzy objects drawn from the same
+generative process as the data (a query cell against a database of cells).
+``generate_query_object`` produces such objects at a caller-chosen location so
+experiment sweeps can control where in the space the query lands.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.cells import CellDatasetConfig, generate_cell_object
+from repro.datasets.synthetic import generate_synthetic_object
+from repro.fuzzy.fuzzy_object import FuzzyObject
+
+QUERY_KINDS = ("synthetic", "cells", "point")
+
+
+def generate_query_object(
+    rng: np.random.Generator,
+    kind: str = "synthetic",
+    center: Optional[Sequence[float]] = None,
+    space_size: float = 100.0,
+    points_per_object: int = 100,
+    dimensions: int = 2,
+) -> FuzzyObject:
+    """A query fuzzy object of the requested ``kind``.
+
+    Parameters
+    ----------
+    kind:
+        ``"synthetic"`` for a circle + Gaussian-membership object,
+        ``"cells"`` for a simulated cell, ``"point"`` for a degenerate
+        single-point crisp query.
+    center:
+        Location of the query; drawn uniformly from the space when omitted.
+    """
+    if kind not in QUERY_KINDS:
+        raise ValueError(f"unknown query kind {kind!r}; expected one of {QUERY_KINDS}")
+    if center is None:
+        center = rng.random(dimensions) * space_size
+    center = np.asarray(center, dtype=float)
+    if kind == "point":
+        return FuzzyObject.single_point(center)
+    if kind == "cells":
+        config = CellDatasetConfig(points_per_object=points_per_object)
+        return generate_cell_object(center, rng, config=config)
+    return generate_synthetic_object(
+        center, rng, points_per_object=points_per_object
+    )

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the fuzzy-object kNN library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class InvalidFuzzyObjectError(ReproError):
+    """Raised when a fuzzy object violates the model of Definition 1/2.
+
+    Typical causes: empty point set, membership values outside ``(0, 1]``,
+    an empty kernel when a kernel is required, or mismatched array shapes.
+    """
+
+
+class InvalidQueryError(ReproError):
+    """Raised when query parameters are malformed.
+
+    Examples: ``k <= 0``, a probability threshold outside ``(0, 1]`` or a
+    probability range whose start exceeds its end.
+    """
+
+
+class EmptyAlphaCutError(ReproError):
+    """Raised when an alpha-cut is empty and a distance cannot be evaluated.
+
+    Under the paper's assumption that kernels are non-empty this can only
+    happen for malformed objects, but the library surfaces it explicitly
+    instead of silently returning ``inf``.
+    """
+
+
+class StorageError(ReproError):
+    """Raised by the object store for missing objects or corrupt files."""
+
+
+class ObjectNotFoundError(StorageError):
+    """Raised when an object id is not present in the object store."""
+
+
+class SerializationError(StorageError):
+    """Raised when a fuzzy object cannot be encoded or decoded."""
+
+
+class IndexError_(ReproError):
+    """Raised by the R-tree for structural violations.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class ExperimentError(ReproError):
+    """Raised by the benchmark harness for inconsistent experiment configs."""

@@ -1,0 +1,74 @@
+"""The fuzzy object model of the paper (Section 2).
+
+Public surface:
+
+* :class:`~repro.fuzzy.fuzzy_object.FuzzyObject` — a discrete fuzzy object
+  (Definition 1) with support, kernel and alpha-cuts (Definition 2).
+* :func:`~repro.fuzzy.alpha_distance.alpha_distance` — the alpha-distance of
+  Definition 3 (closest pair between alpha-cuts).
+* :class:`~repro.fuzzy.profile.DistanceProfile` — the piecewise-constant map
+  from alpha to alpha-distance, including the critical probability set of
+  Definition 7.
+* :mod:`~repro.fuzzy.boundary` — boundary functions and the optimal
+  conservative line of Definition 6, used for the improved lower bound.
+* :class:`~repro.fuzzy.summary.FuzzyObjectSummary` — the compact per-object
+  record stored inside R-tree leaves.
+* :mod:`~repro.fuzzy.intervals` — closed-interval algebra for RKNN
+  qualifying ranges.
+"""
+
+from repro.fuzzy.fuzzy_object import FuzzyObject
+from repro.fuzzy.alpha_distance import (
+    alpha_distance,
+    alpha_distance_points,
+    distance_profile,
+)
+from repro.fuzzy.profile import DistanceProfile
+from repro.fuzzy.boundary import (
+    BoundaryFunction,
+    ConservativeLine,
+    boundary_function,
+    fit_conservative_line,
+    fit_object_lines,
+)
+from repro.fuzzy.summary import FuzzyObjectSummary, build_summary
+from repro.fuzzy.intervals import Interval, IntervalSet
+from repro.fuzzy.operations import (
+    alpha_cut_area,
+    diameter,
+    fuzzy_area,
+    fuzzy_centroid,
+    fuzzy_difference,
+    fuzzy_intersection,
+    fuzzy_union,
+    overlap_degree,
+    overlaps,
+    scalar_cardinality,
+)
+
+__all__ = [
+    "fuzzy_union",
+    "fuzzy_intersection",
+    "fuzzy_difference",
+    "overlaps",
+    "overlap_degree",
+    "scalar_cardinality",
+    "fuzzy_centroid",
+    "fuzzy_area",
+    "alpha_cut_area",
+    "diameter",
+    "FuzzyObject",
+    "alpha_distance",
+    "alpha_distance_points",
+    "distance_profile",
+    "DistanceProfile",
+    "BoundaryFunction",
+    "ConservativeLine",
+    "boundary_function",
+    "fit_conservative_line",
+    "fit_object_lines",
+    "FuzzyObjectSummary",
+    "build_summary",
+    "Interval",
+    "IntervalSet",
+]

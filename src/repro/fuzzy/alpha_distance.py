@@ -1,0 +1,109 @@
+"""The alpha-distance of Definition 3 and distance profiles.
+
+``d_alpha(A, B) = min_{a in A_alpha, b in B_alpha} ||a - b||``
+
+The alpha-distance is evaluated by solving a closest-pair problem between the
+two alpha-cuts.  Because alpha-cuts only change when alpha crosses a
+membership level, the full map ``alpha -> d_alpha(A, B)`` is a
+piecewise-constant, monotonically non-decreasing step function; the
+:func:`distance_profile` helper materialises it exactly, which is the basis of
+exact RKNN processing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import EmptyAlphaCutError, InvalidFuzzyObjectError
+from repro.fuzzy.fuzzy_object import MEMBERSHIP_ATOL, FuzzyObject
+from repro.fuzzy.profile import DistanceProfile
+from repro.geometry.distance import closest_pair_distance
+
+
+def alpha_distance_points(
+    cut_a: np.ndarray,
+    cut_b: np.ndarray,
+    use_kdtree: bool = True,
+) -> float:
+    """Alpha-distance between two already-materialised alpha-cuts."""
+    if cut_a.shape[0] == 0 or cut_b.shape[0] == 0:
+        raise EmptyAlphaCutError("cannot evaluate a distance against an empty cut")
+    return closest_pair_distance(cut_a, cut_b, use_kdtree=use_kdtree)
+
+
+def alpha_distance(
+    obj_a: FuzzyObject,
+    obj_b: FuzzyObject,
+    alpha: float,
+    use_kdtree: bool = True,
+) -> float:
+    """``d_alpha(A, B)``: minimum distance between the two alpha-cuts."""
+    if obj_a.dimensions != obj_b.dimensions:
+        raise InvalidFuzzyObjectError(
+            "alpha-distance requires objects of the same dimensionality"
+        )
+    cut_a = obj_a.alpha_cut(alpha)
+    cut_b = obj_b.alpha_cut(alpha)
+    return alpha_distance_points(cut_a, cut_b, use_kdtree=use_kdtree)
+
+
+def distance_profile(
+    obj_a: FuzzyObject,
+    obj_b: FuzzyObject,
+    use_kdtree: bool = True,
+    max_level: Optional[float] = None,
+) -> DistanceProfile:
+    """Exact profile of ``alpha -> d_alpha(A, B)`` over ``(0, 1]``.
+
+    The alpha-cut of either object only changes when alpha crosses one of its
+    distinct membership values, so the distance is constant on every interval
+    ``(u_{i-1}, u_i]`` where ``u_1 < ... < u_m`` are the combined distinct
+    membership levels of ``A`` and ``B``.  The profile stores one distance per
+    such interval.
+
+    Parameters
+    ----------
+    max_level:
+        When given, levels above this value are not evaluated (the profile is
+        truncated at the smallest level >= ``max_level``).  Used by RKNN
+        processing to avoid computing distances beyond the query range.
+    """
+    if obj_a.dimensions != obj_b.dimensions:
+        raise InvalidFuzzyObjectError(
+            "distance profile requires objects of the same dimensionality"
+        )
+    levels = np.union1d(obj_a.distinct_memberships(), obj_b.distinct_memberships())
+    # Membership values are in (0, 1]; make sure 1.0 is always present so the
+    # profile covers the full domain up to the kernel-vs-kernel distance.
+    if levels[-1] < 1.0 - MEMBERSHIP_ATOL:
+        levels = np.append(levels, 1.0)
+    if max_level is not None:
+        keep = levels <= max_level + MEMBERSHIP_ATOL
+        # Retain the first level >= max_level so evaluation at max_level works.
+        above = levels[levels > max_level + MEMBERSHIP_ATOL]
+        levels = levels[keep]
+        if above.size:
+            levels = np.append(levels, above[0])
+
+    # Sort both objects by decreasing membership once; every alpha-cut is then
+    # a prefix of the sorted arrays, so the sweep reuses the same buffers.
+    order_a = np.argsort(-obj_a.memberships, kind="stable")
+    order_b = np.argsort(-obj_b.memberships, kind="stable")
+    pts_a = obj_a.points[order_a]
+    mus_a = obj_a.memberships[order_a]
+    pts_b = obj_b.points[order_b]
+    mus_b = obj_b.memberships[order_b]
+
+    distances = np.empty(levels.size, dtype=float)
+    for i, level in enumerate(levels):
+        count_a = int(np.count_nonzero(mus_a >= level - MEMBERSHIP_ATOL))
+        count_b = int(np.count_nonzero(mus_b >= level - MEMBERSHIP_ATOL))
+        if count_a == 0 or count_b == 0:
+            distances[i] = np.inf
+            continue
+        distances[i] = closest_pair_distance(
+            pts_a[:count_a], pts_b[:count_b], use_kdtree=use_kdtree
+        )
+    return DistanceProfile(levels, distances)

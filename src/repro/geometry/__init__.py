@@ -1,0 +1,36 @@
+"""Geometric primitives used by the fuzzy-object kNN algorithms.
+
+This package is a small, self-contained computational-geometry substrate:
+
+* :class:`~repro.geometry.mbr.MBR` — d-dimensional minimum bounding
+  rectangles with the ``MinDist`` / ``MaxDist`` metrics of Equations (1) and
+  (3) of the paper.
+* :mod:`~repro.geometry.distance` — point-set distance kernels (closest pair
+  between two point clouds, point-to-set distances) with a vectorised
+  brute-force path and a KD-tree accelerated path.
+* :mod:`~repro.geometry.convexhull` — Andrew's monotone chain convex hull and
+  the upper convex hull used when fitting the optimal conservative line of
+  Definition 6.
+"""
+
+from repro.geometry.mbr import MBR, min_dist, max_dist
+from repro.geometry.distance import (
+    closest_pair_distance,
+    closest_pair,
+    point_to_set_distance,
+    set_to_set_distances,
+)
+from repro.geometry.convexhull import convex_hull, upper_convex_hull, is_right_turn_chain
+
+__all__ = [
+    "MBR",
+    "min_dist",
+    "max_dist",
+    "closest_pair_distance",
+    "closest_pair",
+    "point_to_set_distance",
+    "set_to_set_distances",
+    "convex_hull",
+    "upper_convex_hull",
+    "is_right_turn_chain",
+]

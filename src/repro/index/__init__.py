@@ -1,0 +1,18 @@
+"""R-tree spatial index substrate.
+
+The AKNN / RKNN algorithms index fuzzy objects with an R-tree whose leaf
+entries summarise one fuzzy object each (support MBR, kernel MBR, conservative
+lines and representative point — see :mod:`repro.fuzzy.summary`); the actual
+point sets stay in the object store.
+
+* :mod:`~repro.index.entry` — leaf and internal entries.
+* :mod:`~repro.index.node` — tree nodes.
+* :class:`~repro.index.rtree.RTree` — insertion with quadratic split, STR
+  bulk loading, rectangle range search and validation.
+"""
+
+from repro.index.entry import LeafEntry, InternalEntry
+from repro.index.node import RTreeNode
+from repro.index.rtree import RTree
+
+__all__ = ["LeafEntry", "InternalEntry", "RTreeNode", "RTree"]

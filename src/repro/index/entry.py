@@ -1,0 +1,60 @@
+"""R-tree entries.
+
+Two kinds of entries exist:
+
+* :class:`LeafEntry` — corresponds to one fuzzy object.  Its MBR is the MBR of
+  the object's support (``M_A`` in the paper).  The attached
+  :class:`~repro.fuzzy.summary.FuzzyObjectSummary` carries the extra payload
+  the optimised bounds need.
+* :class:`InternalEntry` — points to a child node and stores the MBR covering
+  everything below it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.fuzzy.summary import FuzzyObjectSummary
+from repro.geometry.mbr import MBR
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.index.node import RTreeNode
+
+
+class LeafEntry:
+    """A data entry referencing one fuzzy object."""
+
+    __slots__ = ("summary",)
+
+    def __init__(self, summary: FuzzyObjectSummary):
+        self.summary = summary
+
+    @property
+    def mbr(self) -> MBR:
+        """MBR of the object's support set."""
+        return self.summary.support_mbr
+
+    @property
+    def object_id(self) -> int:
+        """Identifier used to probe the object store."""
+        return self.summary.object_id
+
+    def __repr__(self) -> str:
+        return f"LeafEntry(object_id={self.object_id})"
+
+
+class InternalEntry:
+    """A directory entry referencing a child node."""
+
+    __slots__ = ("mbr", "child")
+
+    def __init__(self, mbr: MBR, child: "RTreeNode"):
+        self.mbr = mbr
+        self.child = child
+
+    def refresh_mbr(self) -> None:
+        """Recompute the MBR from the child's entries after structural changes."""
+        self.mbr = self.child.compute_mbr()
+
+    def __repr__(self) -> str:
+        return f"InternalEntry(child_level={self.child.level})"

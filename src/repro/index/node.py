@@ -1,0 +1,51 @@
+"""R-tree nodes."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.exceptions import IndexError_
+from repro.geometry.mbr import MBR
+from repro.index.entry import InternalEntry, LeafEntry
+
+Entry = Union[LeafEntry, InternalEntry]
+
+
+class RTreeNode:
+    """A node of the R-tree.
+
+    ``level`` 0 denotes a leaf node (its entries are :class:`LeafEntry`);
+    higher levels hold :class:`InternalEntry` children.
+    """
+
+    __slots__ = ("level", "entries")
+
+    def __init__(self, level: int = 0, entries: List[Entry] | None = None):
+        self.level = level
+        self.entries: List[Entry] = list(entries) if entries else []
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node stores data entries."""
+        return self.level == 0
+
+    def compute_mbr(self) -> MBR:
+        """Tightest MBR enclosing every entry of the node."""
+        if not self.entries:
+            raise IndexError_("cannot compute the MBR of an empty node")
+        return MBR.union_of(entry.mbr for entry in self.entries)
+
+    def add(self, entry: Entry) -> None:
+        """Append an entry (caller is responsible for overflow handling)."""
+        if self.is_leaf and not isinstance(entry, LeafEntry):
+            raise IndexError_("leaf nodes only accept LeafEntry instances")
+        if not self.is_leaf and not isinstance(entry, InternalEntry):
+            raise IndexError_("internal nodes only accept InternalEntry instances")
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"RTreeNode({kind}, level={self.level}, entries={len(self.entries)})"

@@ -1,0 +1,299 @@
+"""An in-memory R-tree over fuzzy-object summaries.
+
+Supported operations:
+
+* one-by-one insertion with Guttman's quadratic split,
+* Sort-Tile-Recursive (STR) bulk loading, the default when building a
+  database from a full dataset,
+* rectangle range search (used by the RSS optimisation of Section 4.2),
+* structural validation (used by the test suite).
+
+The best-first kNN traversal itself lives in :mod:`repro.core.aknn`; the tree
+only exposes its root and nodes so the searchers can maintain their own
+priority queues and count node accesses through a
+:class:`~repro.metrics.counters.MetricsCollector`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_RTREE_MAX_ENTRIES, DEFAULT_RTREE_MIN_FILL
+from repro.exceptions import IndexError_
+from repro.fuzzy.summary import FuzzyObjectSummary
+from repro.geometry.mbr import MBR
+from repro.index.entry import InternalEntry, LeafEntry
+from repro.index.node import Entry, RTreeNode
+from repro.metrics.counters import MetricsCollector
+
+
+class RTree:
+    """R-tree whose data entries are fuzzy-object summaries."""
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_RTREE_MAX_ENTRIES,
+        min_fill: float = DEFAULT_RTREE_MIN_FILL,
+    ):
+        if max_entries < 4:
+            raise IndexError_("max_entries must be at least 4")
+        if not 0.0 < min_fill <= 0.5:
+            raise IndexError_("min_fill must be in (0, 0.5]")
+        self.max_entries = max_entries
+        self.min_entries = max(1, int(math.ceil(max_entries * min_fill)))
+        self.root = RTreeNode(level=0)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        summaries: Sequence[FuzzyObjectSummary],
+        max_entries: int = DEFAULT_RTREE_MAX_ENTRIES,
+        min_fill: float = DEFAULT_RTREE_MIN_FILL,
+    ) -> "RTree":
+        """Build a tree with Sort-Tile-Recursive packing.
+
+        STR produces well-filled, spatially coherent leaves which keeps the
+        best-first search close to the paper's measured behaviour.
+        """
+        tree = cls(max_entries=max_entries, min_fill=min_fill)
+        if not summaries:
+            return tree
+        leaf_entries: List[Entry] = [LeafEntry(s) for s in summaries]
+        nodes = tree._pack_level(leaf_entries, level=0)
+        level = 1
+        while len(nodes) > 1:
+            entries: List[Entry] = [
+                InternalEntry(node.compute_mbr(), node) for node in nodes
+            ]
+            nodes = tree._pack_level(entries, level=level)
+            level += 1
+        tree.root = nodes[0]
+        tree._size = len(summaries)
+        return tree
+
+    def _pack_level(self, entries: List[Entry], level: int) -> List[RTreeNode]:
+        """Pack ``entries`` into nodes of ``level`` using STR tiling."""
+        capacity = self.max_entries
+        n = len(entries)
+        n_nodes = max(1, math.ceil(n / capacity))
+        dims = entries[0].mbr.dimensions
+        centers = np.asarray([e.mbr.center for e in entries])
+        if dims == 1 or n_nodes == 1:
+            order = np.argsort(centers[:, 0])
+            ordered = [entries[i] for i in order]
+        else:
+            # Classic 2-d STR: sort by x, cut into vertical slices, then sort
+            # each slice by y.  Higher dimensions reuse the first two axes.
+            n_slices = max(1, math.ceil(math.sqrt(n_nodes)))
+            slice_size = math.ceil(n / n_slices)
+            order = np.argsort(centers[:, 0])
+            ordered = []
+            for start in range(0, n, slice_size):
+                slice_idx = order[start : start + slice_size]
+                slice_centers = centers[slice_idx]
+                inner = slice_idx[np.argsort(slice_centers[:, 1])]
+                ordered.extend(entries[i] for i in inner)
+        nodes = []
+        for start in range(0, n, capacity):
+            nodes.append(RTreeNode(level=level, entries=ordered[start : start + capacity]))
+        return nodes
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, summary: FuzzyObjectSummary) -> None:
+        """Insert one summary, splitting nodes on overflow."""
+        entry = LeafEntry(summary)
+        split = self._insert_into(self.root, entry)
+        if split is not None:
+            old_root = self.root
+            new_root = RTreeNode(level=old_root.level + 1)
+            new_root.add(InternalEntry(old_root.compute_mbr(), old_root))
+            new_root.add(InternalEntry(split.compute_mbr(), split))
+            self.root = new_root
+        self._size += 1
+
+    def _insert_into(self, node: RTreeNode, entry: LeafEntry) -> Optional[RTreeNode]:
+        if node.is_leaf:
+            node.add(entry)
+        else:
+            child_entry = self._choose_subtree(node, entry.mbr)
+            split = self._insert_into(child_entry.child, entry)
+            child_entry.refresh_mbr()
+            if split is not None:
+                node.add(InternalEntry(split.compute_mbr(), split))
+        if len(node.entries) > self.max_entries:
+            return self._split_node(node)
+        return None
+
+    @staticmethod
+    def _choose_subtree(node: RTreeNode, mbr: MBR) -> InternalEntry:
+        """Guttman's ChooseLeaf criterion: least enlargement, then least area."""
+        best = None
+        best_key = None
+        for entry in node.entries:
+            enlargement = entry.mbr.enlargement(mbr)
+            key = (enlargement, entry.mbr.area())
+            if best_key is None or key < best_key:
+                best = entry
+                best_key = key
+        assert best is not None
+        return best
+
+    def _split_node(self, node: RTreeNode) -> RTreeNode:
+        """Quadratic split; ``node`` keeps one group, the sibling is returned."""
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        mbr_a = entries[seed_a].mbr
+        mbr_b = entries[seed_b].mbr
+        remaining = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+
+        while remaining:
+            # If one group must take everything left to reach minimum fill,
+            # assign the rest to it outright.
+            if len(group_a) + len(remaining) <= self.min_entries:
+                group_a.extend(remaining)
+                remaining = []
+                break
+            if len(group_b) + len(remaining) <= self.min_entries:
+                group_b.extend(remaining)
+                remaining = []
+                break
+            index = self._pick_next(remaining, mbr_a, mbr_b)
+            entry = remaining.pop(index)
+            cost_a = mbr_a.enlargement(entry.mbr)
+            cost_b = mbr_b.enlargement(entry.mbr)
+            if (cost_a, mbr_a.area(), len(group_a)) <= (cost_b, mbr_b.area(), len(group_b)):
+                group_a.append(entry)
+                mbr_a = mbr_a.union(entry.mbr)
+            else:
+                group_b.append(entry)
+                mbr_b = mbr_b.union(entry.mbr)
+
+        node.entries = group_a
+        return RTreeNode(level=node.level, entries=group_b)
+
+    @staticmethod
+    def _pick_seeds(entries: Sequence[Entry]) -> Tuple[int, int]:
+        """The pair of entries wasting the most area when grouped together."""
+        best_pair = (0, 1)
+        best_waste = -math.inf
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                union = entries[i].mbr.union(entries[j].mbr)
+                waste = union.area() - entries[i].mbr.area() - entries[j].mbr.area()
+                if waste > best_waste:
+                    best_waste = waste
+                    best_pair = (i, j)
+        return best_pair
+
+    @staticmethod
+    def _pick_next(remaining: Sequence[Entry], mbr_a: MBR, mbr_b: MBR) -> int:
+        """The entry with the strongest preference for one of the groups."""
+        best_index = 0
+        best_diff = -1.0
+        for i, entry in enumerate(remaining):
+            diff = abs(mbr_a.enlargement(entry.mbr) - mbr_b.enlargement(entry.mbr))
+            if diff > best_diff:
+                best_diff = diff
+                best_index = i
+        return best_index
+
+    # ------------------------------------------------------------------
+    # Search primitives
+    # ------------------------------------------------------------------
+    def range_query(
+        self, region: MBR, metrics: Optional[MetricsCollector] = None
+    ) -> List[LeafEntry]:
+        """All leaf entries whose support MBR intersects ``region``."""
+        result: List[LeafEntry] = []
+        if self._size == 0:
+            return result
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if metrics is not None:
+                metrics.increment(MetricsCollector.NODE_ACCESSES)
+            for entry in node.entries:
+                if not entry.mbr.intersects(region):
+                    continue
+                if node.is_leaf:
+                    result.append(entry)  # type: ignore[arg-type]
+                else:
+                    stack.append(entry.child)  # type: ignore[union-attr]
+        return result
+
+    def leaf_entries(self) -> Iterator[LeafEntry]:
+        """Every data entry in the tree."""
+        if self._size == 0:
+            return
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries  # type: ignore[misc]
+            else:
+                stack.extend(entry.child for entry in node.entries)  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a tree that is a single leaf)."""
+        return self.root.level + 1
+
+    def node_count(self) -> int:
+        """Total number of nodes."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(entry.child for entry in node.entries)
+        return count
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`IndexError_` on violation."""
+        seen_objects = set()
+        self._validate_node(self.root, is_root=True, seen_objects=seen_objects)
+        if len(seen_objects) != self._size:
+            raise IndexError_(
+                f"tree size mismatch: {len(seen_objects)} entries vs {self._size} recorded"
+            )
+
+    def _validate_node(self, node: RTreeNode, is_root: bool, seen_objects: set) -> None:
+        if len(node.entries) > self.max_entries:
+            raise IndexError_("node exceeds max_entries")
+        if not is_root and self._size > 0 and len(node.entries) == 0:
+            raise IndexError_("non-root node is empty")
+        if node.is_leaf:
+            for entry in node.entries:
+                if not isinstance(entry, LeafEntry):
+                    raise IndexError_("leaf node contains a non-leaf entry")
+                if entry.object_id in seen_objects:
+                    raise IndexError_(f"duplicate object id {entry.object_id}")
+                seen_objects.add(entry.object_id)
+            return
+        for entry in node.entries:
+            if not isinstance(entry, InternalEntry):
+                raise IndexError_("internal node contains a non-internal entry")
+            if entry.child.level != node.level - 1:
+                raise IndexError_("child level mismatch")
+            child_mbr = entry.child.compute_mbr()
+            if not entry.mbr.contains(child_mbr):
+                raise IndexError_("internal entry MBR does not cover its child")
+            self._validate_node(entry.child, is_root=False, seen_objects=seen_objects)

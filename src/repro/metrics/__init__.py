@@ -1,0 +1,6 @@
+"""Instrumentation: counters and timers used by searchers and the harness."""
+
+from repro.metrics.counters import MetricsCollector
+from repro.metrics.timer import Timer
+
+__all__ = ["MetricsCollector", "Timer"]

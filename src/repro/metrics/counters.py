@@ -1,0 +1,58 @@
+"""Named counters shared by the query processors.
+
+The evaluation of the paper reports two cost dimensions: the number of object
+accesses (probes of the object store) and wall-clock running time.  The
+searchers additionally track node accesses and the number of alpha-distance /
+bound evaluations, which makes the effect of each optimisation visible in
+tests and ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator
+
+
+class MetricsCollector:
+    """A tiny bag of named integer counters."""
+
+    # Counters the query processors use; free-form names are also accepted.
+    NODE_ACCESSES = "node_accesses"
+    OBJECT_ACCESSES = "object_accesses"
+    DISTANCE_EVALUATIONS = "distance_evaluations"
+    LOWER_BOUND_EVALUATIONS = "lower_bound_evaluations"
+    UPPER_BOUND_EVALUATIONS = "upper_bound_evaluations"
+    AKNN_CALLS = "aknn_calls"
+    RANGE_CALLS = "range_calls"
+    REFINEMENT_STEPS = "refinement_steps"
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name``."""
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self._counts.get(name, 0)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counts.clear()
+
+    def as_dict(self) -> Dict[str, int]:
+        """Copy of all counters."""
+        return dict(self._counts)
+
+    def merge(self, other: "MetricsCollector") -> None:
+        """Add every counter of ``other`` into this collector."""
+        for name, value in other._counts.items():
+            self._counts[name] += value
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"MetricsCollector({parts})"

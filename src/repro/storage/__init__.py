@@ -1,0 +1,28 @@
+"""Disk-backed storage substrate.
+
+The paper stores the actual point sets of fuzzy objects in files on disk and
+keeps only MBRs (plus the small optimisation payload) in the R-tree; the key
+cost metric of the evaluation is the *number of object accesses*, i.e. how
+often a full object has to be read back from external storage.
+
+This package reproduces that setup:
+
+* :mod:`~repro.storage.serialization` — a compact binary codec for fuzzy
+  objects.
+* :class:`~repro.storage.object_store.ObjectStore` — an append-once,
+  file-backed store with an exact access counter and an optional LRU buffer
+  pool (:class:`~repro.storage.cache.LRUCache`).
+"""
+
+from repro.storage.serialization import encode_object, decode_object, HEADER_SIZE
+from repro.storage.cache import LRUCache
+from repro.storage.object_store import ObjectStore, StoreStatistics
+
+__all__ = [
+    "encode_object",
+    "decode_object",
+    "HEADER_SIZE",
+    "LRUCache",
+    "ObjectStore",
+    "StoreStatistics",
+]

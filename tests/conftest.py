@@ -1,0 +1,121 @@
+"""Shared fixtures for the test suite.
+
+The fixtures deliberately keep datasets small (tens of objects, tens of
+points) so the whole suite runs in seconds; correctness of the search
+algorithms is asserted against the exhaustive linear scan, which is exact at
+any scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.database import FuzzyDatabase
+from repro.datasets.builder import build_dataset
+from repro.datasets.queries import generate_query_object
+from repro.fuzzy.fuzzy_object import FuzzyObject
+
+
+def make_fuzzy_object(
+    rng: np.random.Generator,
+    n_points: int = 30,
+    center=None,
+    spread: float = 1.0,
+    object_id=None,
+) -> FuzzyObject:
+    """A random fuzzy object with memberships spanning (0, 1]."""
+    if center is None:
+        center = rng.random(2) * 10.0
+    points = np.asarray(center) + rng.normal(scale=spread, size=(n_points, 2))
+    memberships = rng.random(n_points)
+    memberships[int(rng.integers(0, n_points))] = 1.0  # ensure a kernel point
+    memberships = np.clip(memberships, 1e-3, 1.0)
+    return FuzzyObject(points, memberships, object_id=object_id)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for individual tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_objects(rng) -> list:
+    """A handful of random fuzzy objects with explicit ids."""
+    return [make_fuzzy_object(rng, object_id=i) for i in range(12)]
+
+
+@pytest.fixture
+def query_object(rng) -> FuzzyObject:
+    """A random query fuzzy object."""
+    return make_fuzzy_object(rng, center=[5.0, 5.0])
+
+
+@pytest.fixture(scope="session")
+def dense_database() -> FuzzyDatabase:
+    """A session-wide synthetic database dense enough to exercise pruning.
+
+    Sixty circle objects with Gaussian membership in an 8 x 8 space — the
+    supports overlap, which is the regime the paper's optimisations target.
+    """
+    objects = build_dataset(
+        kind="synthetic", n_objects=60, points_per_object=40, seed=42, space_size=8.0
+    )
+    database = FuzzyDatabase.build(objects, config=RuntimeConfig(rtree_max_entries=8))
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="session")
+def dense_queries() -> list:
+    """Query objects matching :func:`dense_database`'s distribution."""
+    rng = np.random.default_rng(777)
+    return [
+        generate_query_object(
+            rng, kind="synthetic", space_size=8.0, points_per_object=40
+        )
+        for _ in range(3)
+    ]
+
+
+@pytest.fixture(scope="session")
+def cell_database() -> FuzzyDatabase:
+    """A small simulated-cell database (the stand-in for the real dataset)."""
+    objects = build_dataset(
+        kind="cells", n_objects=40, points_per_object=40, seed=5, space_size=7.0
+    )
+    database = FuzzyDatabase.build(objects, config=RuntimeConfig(rtree_max_entries=8))
+    yield database
+    database.close()
+
+
+def sorted_exact_distances(database: FuzzyDatabase, result, query, alpha: float):
+    """Exact alpha-distances of a result's neighbours, sorted ascending.
+
+    Lazily-confirmed neighbours (no exact distance) are probed on demand so
+    that results from different AKNN variants can be compared as multisets of
+    distances, which is robust to ties.
+    """
+    from repro.fuzzy.alpha_distance import alpha_distance
+
+    distances = []
+    for neighbor in result.neighbors:
+        if neighbor.distance is not None:
+            distances.append(neighbor.distance)
+        else:
+            obj = database.get_object(neighbor.object_id)
+            distances.append(alpha_distance(obj, query, alpha))
+    return sorted(distances)
+
+
+def assert_same_assignments(actual, expected, tol: float = 1e-7) -> None:
+    """Assert two RKNN assignment maps describe the same qualifying ranges."""
+    assert set(actual.keys()) == set(expected.keys()), (
+        f"qualifying object sets differ: {sorted(actual)} vs {sorted(expected)}"
+    )
+    for object_id, expected_ranges in expected.items():
+        assert actual[object_id].approx_equal(expected_ranges, tol=tol), (
+            f"object {object_id}: {actual[object_id]} != {expected_ranges}"
+        )

@@ -1,0 +1,136 @@
+"""Unit tests for the alpha-distance (Definition 3) and distance profiles."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyAlphaCutError, InvalidFuzzyObjectError
+from repro.fuzzy.alpha_distance import alpha_distance, alpha_distance_points, distance_profile
+from repro.fuzzy.fuzzy_object import FuzzyObject
+
+
+def line_object(offset, memberships, object_id=None):
+    """Points along the x axis starting at ``offset`` with the given memberships."""
+    n = len(memberships)
+    points = np.column_stack([offset + np.arange(n, dtype=float), np.zeros(n)])
+    return FuzzyObject(points, np.asarray(memberships, dtype=float), object_id=object_id)
+
+
+class TestAlphaDistance:
+    def test_figure2_style_example(self):
+        # A: points at x = 0 (mu=1), 1 (mu=0.5), 2 (mu=0.3)
+        # B: points at x = 10 (mu=1), 9 (mu=0.5), 8 (mu=0.3)
+        a = FuzzyObject(
+            np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]]), np.array([1.0, 0.5, 0.3])
+        )
+        b = FuzzyObject(
+            np.array([[10.0, 0.0], [9.0, 0.0], [8.0, 0.0]]), np.array([1.0, 0.5, 0.3])
+        )
+        assert alpha_distance(a, b, 0.3) == pytest.approx(6.0)
+        assert alpha_distance(a, b, 0.5) == pytest.approx(8.0)
+        assert alpha_distance(a, b, 1.0) == pytest.approx(10.0)
+
+    def test_distance_to_self_is_zero(self):
+        a = line_object(0.0, [1.0, 0.5, 0.2])
+        for alpha in (0.1, 0.5, 1.0):
+            assert alpha_distance(a, a, alpha) == 0.0
+
+    def test_symmetry(self, rng):
+        from tests.conftest import make_fuzzy_object
+
+        a = make_fuzzy_object(rng)
+        b = make_fuzzy_object(rng, center=[8.0, 8.0])
+        for alpha in (0.2, 0.6, 1.0):
+            assert alpha_distance(a, b, alpha) == pytest.approx(alpha_distance(b, a, alpha))
+
+    def test_monotone_in_alpha(self, rng):
+        from tests.conftest import make_fuzzy_object
+
+        a = make_fuzzy_object(rng)
+        b = make_fuzzy_object(rng, center=[9.0, 9.0])
+        alphas = np.linspace(0.05, 1.0, 12)
+        distances = [alpha_distance(a, b, alpha) for alpha in alphas]
+        assert all(d2 >= d1 - 1e-9 for d1, d2 in zip(distances, distances[1:]))
+
+    def test_overlapping_objects_have_zero_distance(self):
+        a = FuzzyObject(np.array([[0.0, 0.0], [1.0, 1.0]]), np.array([1.0, 0.5]))
+        b = FuzzyObject(np.array([[1.0, 1.0], [2.0, 2.0]]), np.array([0.5, 1.0]))
+        assert alpha_distance(a, b, 0.5) == 0.0
+
+    def test_dimension_mismatch_raises(self):
+        a = FuzzyObject(np.zeros((1, 2)), np.array([1.0]))
+        b = FuzzyObject(np.zeros((1, 3)), np.array([1.0]))
+        with pytest.raises(InvalidFuzzyObjectError):
+            alpha_distance(a, b, 0.5)
+
+    def test_alpha_distance_points_empty_cut_raises(self):
+        with pytest.raises(EmptyAlphaCutError):
+            alpha_distance_points(np.empty((0, 2)), np.zeros((1, 2)))
+
+    def test_matches_explicit_cut_computation(self, rng):
+        from tests.conftest import make_fuzzy_object
+        from repro.geometry.distance import closest_pair_distance
+
+        a = make_fuzzy_object(rng)
+        b = make_fuzzy_object(rng, center=[6.0, 2.0])
+        for alpha in (0.3, 0.7):
+            expected = closest_pair_distance(a.alpha_cut(alpha), b.alpha_cut(alpha))
+            assert alpha_distance(a, b, alpha) == pytest.approx(expected)
+
+
+class TestDistanceProfile:
+    def test_profile_matches_pointwise_distances(self, rng):
+        from tests.conftest import make_fuzzy_object
+
+        a = make_fuzzy_object(rng, n_points=20)
+        b = make_fuzzy_object(rng, n_points=20, center=[7.0, 7.0])
+        profile = distance_profile(a, b)
+        for alpha in np.linspace(0.05, 1.0, 17):
+            assert profile.value(alpha) == pytest.approx(alpha_distance(a, b, alpha))
+
+    def test_profile_levels_cover_one(self, rng):
+        from tests.conftest import make_fuzzy_object
+
+        a = make_fuzzy_object(rng)
+        b = make_fuzzy_object(rng)
+        profile = distance_profile(a, b)
+        assert profile.levels[-1] == pytest.approx(1.0)
+
+    def test_profile_is_monotone(self, rng):
+        from tests.conftest import make_fuzzy_object
+
+        a = make_fuzzy_object(rng)
+        b = make_fuzzy_object(rng, center=[9.0, 0.0])
+        profile = distance_profile(a, b)
+        finite = profile.distances[np.isfinite(profile.distances)]
+        assert np.all(np.diff(finite) >= -1e-9)
+
+    def test_max_level_truncation(self, rng):
+        from tests.conftest import make_fuzzy_object
+
+        a = make_fuzzy_object(rng)
+        b = make_fuzzy_object(rng, center=[4.0, 4.0])
+        full = distance_profile(a, b)
+        truncated = distance_profile(a, b, max_level=0.6)
+        # Values inside the truncated domain agree with the full profile.
+        for alpha in (0.1, 0.3, 0.55, 0.6):
+            assert truncated.value(alpha) == pytest.approx(full.value(alpha))
+        assert truncated.levels.size <= full.levels.size
+
+    def test_dimension_mismatch_raises(self):
+        a = FuzzyObject(np.zeros((1, 2)), np.array([1.0]))
+        b = FuzzyObject(np.zeros((1, 3)), np.array([1.0]))
+        with pytest.raises(InvalidFuzzyObjectError):
+            distance_profile(a, b)
+
+    def test_handcrafted_step_function(self):
+        # A has levels 1.0/0.5; B is crisp.  Moving the 0.5 point away from B
+        # makes the distance jump exactly at alpha > 0.5.
+        a = FuzzyObject(
+            np.array([[0.0, 0.0], [3.0, 0.0]]), np.array([0.5, 1.0])
+        )
+        b = FuzzyObject.single_point([-2.0, 0.0])
+        profile = distance_profile(a, b)
+        assert profile.value(0.4) == pytest.approx(2.0)
+        assert profile.value(0.5) == pytest.approx(2.0)
+        assert profile.value(0.51) == pytest.approx(5.0)
+        assert profile.value(1.0) == pytest.approx(5.0)

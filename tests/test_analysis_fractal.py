@@ -1,0 +1,80 @@
+"""Tests for the fractal-dimension estimators used by the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fractal import (
+    box_counting_dimension,
+    correlation_dimension,
+    dataset_center_dimension,
+    estimate_dimensions,
+    sample_centers,
+    uniform_reference_dimension,
+)
+
+
+class TestBoxCounting:
+    def test_uniform_2d_close_to_two(self, rng):
+        points = rng.random((5000, 2))
+        d0 = box_counting_dimension(points)
+        assert 1.6 <= d0 <= 2.2
+
+    def test_points_on_a_line_close_to_one(self, rng):
+        t = rng.random(4000)
+        points = np.column_stack([t, 0.5 * t + 0.1])
+        d0 = box_counting_dimension(points)
+        assert 0.7 <= d0 <= 1.3
+
+    def test_finite_point_set_has_dimension_near_zero(self):
+        # A large sample drawn from only three distinct locations occupies a
+        # constant number of boxes at every scale, so D0 is (close to) zero.
+        distinct = np.array([[0.0, 0.0], [0.3, 0.7], [1.0, 1.0]])
+        points = np.repeat(distinct, 400, axis=0)
+        d0 = box_counting_dimension(points)
+        assert d0 <= 0.5
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            box_counting_dimension(np.zeros((1, 2)))
+
+
+class TestCorrelation:
+    def test_uniform_2d_close_to_two(self, rng):
+        points = rng.random((5000, 2))
+        d2 = correlation_dimension(points)
+        assert 1.6 <= d2 <= 2.2
+
+    def test_line_close_to_one(self, rng):
+        t = rng.random(4000)
+        points = np.column_stack([t, t])
+        d2 = correlation_dimension(points)
+        assert 0.7 <= d2 <= 1.3
+
+    def test_clipped_to_embedding_dimension(self, rng):
+        points = rng.random((500, 2))
+        assert correlation_dimension(points) <= 2.0
+
+
+class TestHelpers:
+    def test_uniform_reference(self):
+        assert uniform_reference_dimension(2) == 2.0
+        assert uniform_reference_dimension(3) == 3.0
+
+    def test_dataset_center_dimension_dispatch(self, rng):
+        points = rng.random((1000, 2))
+        assert dataset_center_dimension(points, "correlation") > 0
+        assert dataset_center_dimension(points, "hausdorff") > 0
+        with pytest.raises(ValueError):
+            dataset_center_dimension(points, "other")
+
+    def test_estimate_dimensions_returns_pair(self, rng):
+        d0, d2 = estimate_dimensions(rng.random((2000, 2)))
+        assert 0 < d0 <= 2
+        assert 0 < d2 <= 2
+
+    def test_sample_centers(self, rng):
+        points = rng.random((1000, 2))
+        sampled = sample_centers(points, 100, rng)
+        assert sampled.shape == (100, 2)
+        small = rng.random((10, 2))
+        assert sample_centers(small, 100).shape == (10, 2)

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(
+            ["generate", "--output", "/tmp/db", "--n-objects", "50", "--kind", "cells"]
+        )
+        assert args.command == "generate"
+        assert args.n_objects == 50
+        assert args.kind == "cells"
+
+    def test_aknn_defaults(self):
+        args = build_parser().parse_args(["aknn"])
+        assert args.k == 20
+        assert args.alpha == 0.5
+        assert args.method == "lb_lp_ub"
+
+    def test_rknn_arguments(self):
+        args = build_parser().parse_args(
+            ["rknn", "--alpha-start", "0.2", "--alpha-end", "0.8", "--method", "rss"]
+        )
+        assert args.alpha_start == 0.2
+        assert args.alpha_end == 0.8
+        assert args.method == "rss"
+
+    def test_experiment_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_generate_then_query_saved_database(self, tmp_path, capsys):
+        db_dir = str(tmp_path / "db")
+        exit_code = main(
+            [
+                "generate",
+                "--output",
+                db_dir,
+                "--n-objects",
+                "30",
+                "--points-per-object",
+                "15",
+                "--space-size",
+                "6",
+            ]
+        )
+        assert exit_code == 0
+        assert "wrote 30" in capsys.readouterr().out
+
+        exit_code = main(
+            ["aknn", "--database", db_dir, "--k", "3", "--space-size", "6",
+             "--points-per-object", "15"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "AKNN(k=3" in output
+        assert "object accesses" in output
+
+    def test_aknn_on_generated_database(self, capsys):
+        exit_code = main(
+            ["aknn", "--n-objects", "25", "--points-per-object", "12", "--k", "2",
+             "--space-size", "5"]
+        )
+        assert exit_code == 0
+        assert "distance" in capsys.readouterr().out
+
+    def test_rknn_on_generated_database(self, capsys):
+        exit_code = main(
+            ["rknn", "--n-objects", "25", "--points-per-object", "12", "--k", "2",
+             "--space-size", "5", "--alpha-start", "0.4", "--alpha-end", "0.6"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "RKNN(k=2" in output
+        assert "qualifying" in output

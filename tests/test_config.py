@@ -1,0 +1,75 @@
+"""Unit tests for configuration objects."""
+
+import pytest
+
+from repro.config import DEFAULTS, PaperDefaults, RuntimeConfig
+
+
+class TestPaperDefaults:
+    def test_table2_values(self):
+        assert DEFAULTS.n_objects == 50_000
+        assert DEFAULTS.points_per_object == 1_000
+        assert DEFAULTS.k == 20
+        assert DEFAULTS.alpha == 0.5
+        assert DEFAULTS.range_length == 0.2
+        assert DEFAULTS.space_size == 100.0
+        assert DEFAULTS.object_radius == 0.5
+        assert DEFAULTS.membership_sigma == 0.5
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULTS.k = 5  # type: ignore[misc]
+
+
+class TestRuntimeConfig:
+    def test_defaults_validate(self):
+        config = RuntimeConfig().validate()
+        assert config.upper_bound_samples >= 1
+        assert config.rtree_max_entries >= 4
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(upper_bound_samples=0).validate()
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(rtree_max_entries=2).validate()
+
+    def test_invalid_min_fill(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(rtree_min_fill=0.9).validate()
+        with pytest.raises(ValueError):
+            RuntimeConfig(rtree_min_fill=0.0).validate()
+
+    def test_invalid_cache_capacity(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(cache_capacity=-1).validate()
+
+    def test_validate_returns_self(self):
+        config = RuntimeConfig()
+        assert config.validate() is config
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        from repro.exceptions import (
+            EmptyAlphaCutError,
+            IndexError_,
+            InvalidFuzzyObjectError,
+            InvalidQueryError,
+            ObjectNotFoundError,
+            ReproError,
+            SerializationError,
+            StorageError,
+        )
+
+        for exc in (
+            InvalidFuzzyObjectError,
+            InvalidQueryError,
+            EmptyAlphaCutError,
+            StorageError,
+            IndexError_,
+        ):
+            assert issubclass(exc, ReproError)
+        assert issubclass(ObjectNotFoundError, StorageError)
+        assert issubclass(SerializationError, StorageError)

@@ -1,0 +1,129 @@
+"""Tests for fuzzy set-theoretic and metric operations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidFuzzyObjectError
+from repro.fuzzy.fuzzy_object import FuzzyObject
+from repro.fuzzy.operations import (
+    alpha_cut_area,
+    diameter,
+    fuzzy_area,
+    fuzzy_centroid,
+    fuzzy_difference,
+    fuzzy_intersection,
+    fuzzy_union,
+    gap_distance,
+    overlap_degree,
+    overlaps,
+    scalar_cardinality,
+)
+
+
+def grid_object(memberships_by_point, object_id=None):
+    points = np.asarray(list(memberships_by_point.keys()), dtype=float)
+    memberships = np.asarray(list(memberships_by_point.values()), dtype=float)
+    return FuzzyObject(points, memberships, object_id=object_id, require_kernel=False)
+
+
+@pytest.fixture
+def object_a():
+    return grid_object({(0.0, 0.0): 1.0, (1.0, 0.0): 0.6, (2.0, 0.0): 0.2})
+
+
+@pytest.fixture
+def object_b():
+    return grid_object({(1.0, 0.0): 0.9, (2.0, 0.0): 0.5, (3.0, 0.0): 1.0})
+
+
+class TestSetOperations:
+    def test_union_takes_max_memberships(self, object_a, object_b):
+        union = fuzzy_union(object_a, object_b)
+        values = {tuple(p): m for p, m in zip(union.points, union.memberships)}
+        assert values[(0.0, 0.0)] == pytest.approx(1.0)
+        assert values[(1.0, 0.0)] == pytest.approx(0.9)
+        assert values[(2.0, 0.0)] == pytest.approx(0.5)
+        assert values[(3.0, 0.0)] == pytest.approx(1.0)
+        assert union.size == 4
+
+    def test_intersection_takes_min_memberships(self, object_a, object_b):
+        intersection = fuzzy_intersection(object_a, object_b)
+        values = {tuple(p): m for p, m in zip(intersection.points, intersection.memberships)}
+        assert set(values) == {(1.0, 0.0), (2.0, 0.0)}
+        assert values[(1.0, 0.0)] == pytest.approx(0.6)
+        assert values[(2.0, 0.0)] == pytest.approx(0.2)
+
+    def test_disjoint_intersection_raises(self, object_a):
+        far = grid_object({(10.0, 10.0): 1.0})
+        with pytest.raises(InvalidFuzzyObjectError):
+            fuzzy_intersection(object_a, far)
+
+    def test_difference(self, object_a, object_b):
+        difference = fuzzy_difference(object_a, object_b)
+        values = {tuple(p): m for p, m in zip(difference.points, difference.memberships)}
+        # A \ B at (0,0): min(1.0, 1 - 0) = 1.0; at (1,0): min(0.6, 0.1) = 0.1
+        assert values[(0.0, 0.0)] == pytest.approx(1.0)
+        assert values[(1.0, 0.0)] == pytest.approx(0.1)
+        assert values[(2.0, 0.0)] == pytest.approx(0.2)
+
+    def test_union_commutative(self, object_a, object_b):
+        ab = fuzzy_union(object_a, object_b)
+        ba = fuzzy_union(object_b, object_a)
+        values_ab = {tuple(p): m for p, m in zip(ab.points, ab.memberships)}
+        values_ba = {tuple(p): m for p, m in zip(ba.points, ba.memberships)}
+        assert values_ab == values_ba
+
+    def test_dimension_mismatch(self, object_a):
+        three_d = FuzzyObject(np.zeros((1, 3)), np.array([1.0]))
+        with pytest.raises(InvalidFuzzyObjectError):
+            fuzzy_union(object_a, three_d)
+
+    def test_overlaps(self, object_a, object_b):
+        assert overlaps(object_a, object_b)
+        far = grid_object({(10.0, 10.0): 1.0})
+        assert not overlaps(object_a, far)
+
+    def test_idempotence(self, object_a):
+        union = fuzzy_union(object_a, object_a)
+        assert union.size == object_a.size
+        np.testing.assert_allclose(sorted(union.memberships), sorted(object_a.memberships))
+
+
+class TestMetricOperations:
+    def test_scalar_cardinality(self, object_a):
+        assert scalar_cardinality(object_a) == pytest.approx(1.8)
+
+    def test_fuzzy_area(self, object_a):
+        assert fuzzy_area(object_a, pixel_area=2.0) == pytest.approx(3.6)
+        with pytest.raises(InvalidFuzzyObjectError):
+            fuzzy_area(object_a, pixel_area=0.0)
+
+    def test_alpha_cut_area(self, object_a):
+        assert alpha_cut_area(object_a, 0.5) == 2.0
+        assert alpha_cut_area(object_a, 0.1) == 3.0
+
+    def test_centroid_weighted_towards_high_membership(self, object_a):
+        centroid = fuzzy_centroid(object_a)
+        plain_mean = object_a.points.mean(axis=0)
+        assert centroid[0] < plain_mean[0]  # pulled towards the membership-1 point
+
+    def test_diameter(self, object_a):
+        assert diameter(object_a) == pytest.approx(2.0)
+        assert diameter(object_a, alpha=0.5) == pytest.approx(1.0)
+        single = grid_object({(1.0, 1.0): 1.0})
+        assert diameter(single) == 0.0
+
+    def test_overlap_degree_bounds(self, object_a, object_b):
+        degree = overlap_degree(object_a, object_b)
+        assert 0.0 < degree <= 1.0
+        assert overlap_degree(object_a, object_a) == pytest.approx(1.0)
+        far = grid_object({(10.0, 10.0): 1.0})
+        assert overlap_degree(object_a, far) == 0.0
+
+    def test_gap_distance_matches_alpha_distance(self, rng):
+        from tests.conftest import make_fuzzy_object
+        from repro.fuzzy.alpha_distance import alpha_distance
+
+        a = make_fuzzy_object(rng)
+        b = make_fuzzy_object(rng, center=[9.0, 9.0])
+        assert gap_distance(a, b, 0.5) == pytest.approx(alpha_distance(a, b, 0.5))

@@ -1,0 +1,75 @@
+"""Unit tests for the monotone-chain convex hull / upper hull."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.convexhull import convex_hull, is_right_turn_chain, upper_convex_hull
+
+
+class TestConvexHull:
+    def test_square(self):
+        points = [(0, 0), (1, 0), (1, 1), (0, 1), (0.5, 0.5)]
+        hull = convex_hull(points)
+        assert set(hull) == {(0, 0), (1, 0), (1, 1), (0, 1)}
+
+    def test_collinear_points(self):
+        points = [(0, 0), (1, 1), (2, 2), (3, 3)]
+        hull = convex_hull(points)
+        assert set(hull) == {(0, 0), (3, 3)}
+
+    def test_duplicate_points_removed(self):
+        hull = convex_hull([(0, 0), (0, 0), (1, 0), (1, 1)])
+        assert set(hull) == {(0, 0), (1, 0), (1, 1)}
+
+    def test_single_and_pair(self):
+        assert convex_hull([(1, 2)]) == [(1.0, 2.0)]
+        assert convex_hull([(1, 2), (0, 0)]) == [(0.0, 0.0), (1.0, 2.0)]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            convex_hull([])
+
+    def test_random_points_inside_hull(self, rng):
+        points = [tuple(p) for p in rng.random((60, 2))]
+        hull = convex_hull(points)
+        # every hull vertex is an input point
+        assert set(hull) <= {(float(x), float(y)) for x, y in points}
+        # the hull of the hull is the hull (idempotence)
+        assert set(convex_hull(hull)) == set(hull)
+
+
+class TestUpperConvexHull:
+    def test_simple_decreasing_curve(self):
+        # A concave-down decreasing sequence keeps every point.
+        points = [(0.0, 1.0), (0.5, 0.9), (1.0, 0.0)]
+        hull = upper_convex_hull(points)
+        assert hull[0] == (0.0, 1.0)
+        assert hull[-1] == (1.0, 0.0)
+        assert is_right_turn_chain(hull)
+
+    def test_points_below_chain(self, rng):
+        xs = np.sort(rng.random(30))
+        ys = rng.random(30)
+        pairs = list(zip(xs, ys))
+        hull = upper_convex_hull(pairs)
+        assert is_right_turn_chain(hull)
+        # every input point lies on or below the chain
+        hx = np.array([p[0] for p in hull])
+        hy = np.array([p[1] for p in hull])
+        for x, y in pairs:
+            y_chain = np.interp(x, hx, hy)
+            assert y <= y_chain + 1e-9
+
+    def test_spans_x_extremes(self, rng):
+        pairs = [(float(x), float(y)) for x, y in rng.random((20, 2))]
+        hull = upper_convex_hull(pairs)
+        xs = sorted(p[0] for p in pairs)
+        assert hull[0][0] == pytest.approx(xs[0])
+        assert hull[-1][0] == pytest.approx(xs[-1])
+
+    def test_is_right_turn_chain_detects_violation(self):
+        assert is_right_turn_chain([(0, 0), (1, 1), (2, 0)])
+        assert not is_right_turn_chain([(0, 0), (1, -1), (2, 0)])
+
+    def test_two_points(self):
+        assert upper_convex_hull([(0, 0), (1, 5)]) == [(0.0, 0.0), (1.0, 5.0)]

@@ -1,0 +1,125 @@
+"""Tests for the alpha-distance join (extension query)."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import FuzzyDatabase
+from repro.core.join import AlphaDistanceJoin
+from repro.exceptions import InvalidQueryError
+from repro.fuzzy.alpha_distance import alpha_distance
+from tests.conftest import make_fuzzy_object
+
+
+def brute_force_join(left_objects, right_objects, alpha, epsilon, self_join):
+    pairs = set()
+    for a in left_objects:
+        for b in right_objects:
+            if self_join and b.object_id <= a.object_id:
+                continue
+            if alpha_distance(a, b, alpha) <= epsilon:
+                pairs.add((a.object_id, b.object_id))
+    return pairs
+
+
+@pytest.fixture
+def two_databases(rng):
+    left_objects = [
+        make_fuzzy_object(rng, n_points=15, center=rng.random(2) * 8, object_id=i)
+        for i in range(18)
+    ]
+    right_objects = [
+        make_fuzzy_object(rng, n_points=15, center=rng.random(2) * 8, object_id=i)
+        for i in range(14)
+    ]
+    left = FuzzyDatabase.build(left_objects)
+    right = FuzzyDatabase.build(right_objects)
+    yield left, left_objects, right, right_objects
+    left.close()
+    right.close()
+
+
+class TestBinaryJoin:
+    @pytest.mark.parametrize("alpha", [0.3, 0.7, 1.0])
+    @pytest.mark.parametrize("epsilon", [0.0, 0.5, 2.0])
+    def test_index_matches_nested_loop_and_brute_force(self, two_databases, alpha, epsilon):
+        left, left_objects, right, right_objects = two_databases
+        join = AlphaDistanceJoin(left.store, left.tree, right.store, right.tree)
+        expected = brute_force_join(left_objects, right_objects, alpha, epsilon, self_join=False)
+        nested = join.join(alpha, epsilon, method="nested_loop")
+        indexed = join.join(alpha, epsilon, method="index")
+        assert set(nested.pair_ids) == expected
+        assert set(indexed.pair_ids) == expected
+
+    def test_reported_distances_within_epsilon(self, two_databases):
+        left, _, right, _ = two_databases
+        join = AlphaDistanceJoin(left.store, left.tree, right.store, right.tree)
+        result = join.join(0.5, 1.5, method="index")
+        for _, _, distance in result.pairs:
+            assert distance <= 1.5 + 1e-9
+
+    def test_index_join_probes_fewer_objects(self, two_databases):
+        """With a selective epsilon the dual-tree join should not probe more
+        objects than the exhaustive nested loop."""
+        left, _, right, _ = two_databases
+        join = AlphaDistanceJoin(left.store, left.tree, right.store, right.tree)
+        left.reset_statistics()
+        right.reset_statistics()
+        nested = join.join(0.5, 0.2, method="nested_loop")
+        left.reset_statistics()
+        right.reset_statistics()
+        indexed = join.join(0.5, 0.2, method="index")
+        assert indexed.stats.object_accesses <= nested.stats.object_accesses
+
+    def test_validation(self, two_databases):
+        left, _, right, _ = two_databases
+        join = AlphaDistanceJoin(left.store, left.tree, right.store, right.tree)
+        with pytest.raises(InvalidQueryError):
+            join.join(0.0, 1.0)
+        with pytest.raises(InvalidQueryError):
+            join.join(0.5, -1.0)
+        with pytest.raises(InvalidQueryError):
+            join.join(0.5, 1.0, method="hash")
+
+
+class TestSelfJoin:
+    @pytest.mark.parametrize("epsilon", [0.0, 0.8, 3.0])
+    def test_self_join_matches_brute_force(self, rng, epsilon):
+        objects = [
+            make_fuzzy_object(rng, n_points=12, center=rng.random(2) * 7, object_id=i)
+            for i in range(20)
+        ]
+        database = FuzzyDatabase.build(objects)
+        expected = brute_force_join(objects, objects, 0.6, epsilon, self_join=True)
+        result = database.distance_join(alpha=0.6, epsilon=epsilon, method="index")
+        assert set(result.pair_ids) == expected
+        nested = database.distance_join(alpha=0.6, epsilon=epsilon, method="nested_loop")
+        assert set(nested.pair_ids) == expected
+        database.close()
+
+    def test_self_join_excludes_identity_pairs(self, rng):
+        objects = [
+            make_fuzzy_object(rng, n_points=10, center=rng.random(2) * 5, object_id=i)
+            for i in range(10)
+        ]
+        database = FuzzyDatabase.build(objects)
+        result = database.distance_join(alpha=0.5, epsilon=100.0)
+        assert all(left != right for left, right in result.pair_ids)
+        # every unordered pair of 10 objects qualifies with a huge epsilon
+        assert len(result) == 45
+        database.close()
+
+    def test_empty_database_join(self):
+        database = FuzzyDatabase.build([])
+        result = database.distance_join(alpha=0.5, epsilon=1.0)
+        assert len(result) == 0
+        database.close()
+
+
+class TestDatabaseFacade:
+    def test_binary_join_through_database(self, two_databases):
+        left, left_objects, right, right_objects = two_databases
+        expected = brute_force_join(left_objects, right_objects, 0.5, 1.0, self_join=False)
+        result = left.distance_join(alpha=0.5, epsilon=1.0, other=right)
+        assert set(result.pair_ids) == expected
+        assert result.method == "index"
+        assert result.stats.node_accesses >= 1

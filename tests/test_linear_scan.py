@@ -1,0 +1,162 @@
+"""Unit tests for the linear-scan baseline (the ground-truth oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.core.linear_scan import LinearScanSearcher, evaluate_piecewise, rank_objects
+from repro.exceptions import InvalidQueryError
+from repro.fuzzy.alpha_distance import alpha_distance
+from repro.fuzzy.intervals import IntervalSet
+from repro.fuzzy.profile import DistanceProfile
+from repro.storage.object_store import ObjectStore
+from tests.conftest import make_fuzzy_object
+
+
+@pytest.fixture
+def store_and_query(rng):
+    objects = [
+        make_fuzzy_object(rng, n_points=25, center=rng.random(2) * 10, object_id=i)
+        for i in range(20)
+    ]
+    store = ObjectStore.build(objects)
+    query = make_fuzzy_object(rng, n_points=25, center=[5.0, 5.0])
+    yield store, objects, query
+    store.close()
+
+
+class TestRankObjects:
+    def test_orders_by_distance_then_id(self):
+        distances = {3: 1.0, 1: 2.0, 2: 1.0, 4: 0.5}
+        top, kth, k_plus_1 = rank_objects(distances, 2)
+        assert top == [4, 2]
+        assert kth == 1.0
+        assert k_plus_1 == 1.0  # object 3 ties at distance 1.0
+
+    def test_fewer_objects_than_k(self):
+        top, kth, k_plus_1 = rank_objects({1: 3.0}, 5)
+        assert top == [1]
+        assert kth == 3.0
+        assert k_plus_1 == float("inf")
+
+    def test_empty(self):
+        top, kth, k_plus_1 = rank_objects({}, 3)
+        assert top == []
+        assert kth == float("inf")
+
+
+class TestAKNN:
+    def test_returns_k_smallest_distances(self, store_and_query):
+        store, objects, query = store_and_query
+        searcher = LinearScanSearcher(store)
+        result = searcher.aknn(query, k=5, alpha=0.5)
+        assert len(result) == 5
+        all_distances = sorted(alpha_distance(obj, query, 0.5) for obj in objects)
+        returned = sorted(n.distance for n in result.neighbors)
+        np.testing.assert_allclose(returned, all_distances[:5])
+
+    def test_counts_every_object_access(self, store_and_query):
+        store, objects, query = store_and_query
+        searcher = LinearScanSearcher(store)
+        result = searcher.aknn(query, k=3, alpha=0.5)
+        assert result.stats.object_accesses == len(objects)
+        assert result.stats.distance_evaluations == len(objects)
+
+    def test_k_larger_than_dataset(self, store_and_query):
+        store, objects, query = store_and_query
+        result = LinearScanSearcher(store).aknn(query, k=100, alpha=0.5)
+        assert len(result) == len(objects)
+
+    def test_invalid_parameters(self, store_and_query):
+        store, _, query = store_and_query
+        searcher = LinearScanSearcher(store)
+        with pytest.raises(InvalidQueryError):
+            searcher.aknn(query, k=0, alpha=0.5)
+        with pytest.raises(InvalidQueryError):
+            searcher.aknn(query, k=3, alpha=1.5)
+
+
+class TestRangeSearch:
+    def test_matches_manual_filter(self, store_and_query):
+        store, objects, query = store_and_query
+        radius = 2.5
+        result = LinearScanSearcher(store).range_search(query, 0.5, radius)
+        expected = sorted(
+            obj.object_id
+            for obj in objects
+            if alpha_distance(obj, query, 0.5) <= radius
+        )
+        assert sorted(result.object_ids) == expected
+        for object_id, distance in result.matches:
+            assert distance <= radius
+
+    def test_zero_radius(self, store_and_query):
+        store, objects, query = store_and_query
+        result = LinearScanSearcher(store).range_search(query, 0.5, 0.0)
+        for object_id, distance in result.matches:
+            assert distance == 0.0
+
+    def test_negative_radius_rejected(self, store_and_query):
+        store, _, query = store_and_query
+        with pytest.raises(InvalidQueryError):
+            LinearScanSearcher(store).range_search(query, 0.5, -1.0)
+
+
+class TestRKNNGroundTruth:
+    def test_assignments_match_pointwise_topk(self, store_and_query):
+        """At any alpha inside the range, the objects whose qualifying range
+        covers alpha are exactly the pointwise top-k."""
+        store, objects, query = store_and_query
+        searcher = LinearScanSearcher(store)
+        k = 4
+        result = searcher.rknn(query, k=k, alpha_range=(0.3, 0.8))
+        for alpha in (0.3, 0.45, 0.61, 0.8):
+            distances = {obj.object_id: alpha_distance(obj, query, alpha) for obj in objects}
+            expected, _, _ = rank_objects(distances, k)
+            covering = [
+                object_id
+                for object_id, ranges in result.assignments.items()
+                if ranges.contains(alpha)
+            ]
+            assert sorted(covering) == sorted(expected)
+
+    def test_every_range_inside_query_range(self, store_and_query):
+        store, _, query = store_and_query
+        result = LinearScanSearcher(store).rknn(query, k=3, alpha_range=(0.4, 0.6))
+        for ranges in result.assignments.values():
+            span = ranges.span
+            assert span.start >= 0.4 - 1e-9
+            assert span.end <= 0.6 + 1e-9
+
+    def test_invalid_range_rejected(self, store_and_query):
+        store, _, query = store_and_query
+        searcher = LinearScanSearcher(store)
+        with pytest.raises(InvalidQueryError):
+            searcher.rknn(query, k=3, alpha_range=(0.6, 0.4))
+        with pytest.raises(InvalidQueryError):
+            searcher.rknn(query, k=3, alpha_range=(0.0, 0.5))
+        with pytest.raises(InvalidQueryError):
+            searcher.rknn(query, k=0, alpha_range=(0.3, 0.5))
+
+    def test_degenerate_range_equals_aknn(self, store_and_query):
+        store, _, query = store_and_query
+        searcher = LinearScanSearcher(store)
+        rknn = searcher.rknn(query, k=3, alpha_range=(0.5, 0.5))
+        aknn = searcher.aknn(query, k=3, alpha=0.5)
+        assert sorted(rknn.object_ids) == sorted(aknn.object_ids)
+
+
+class TestEvaluatePiecewise:
+    def test_handcrafted_crossover(self):
+        """Two objects whose distance curves cross: the assignment switches at
+        the crossing level."""
+        profiles = {
+            1: DistanceProfile([0.5, 1.0], [1.0, 5.0]),
+            2: DistanceProfile([1.0], [2.0]),
+        }
+        assignments = evaluate_piecewise(profiles, k=1, alpha_start=0.2, alpha_end=0.9)
+        # Object 1 is closer until alpha = 0.5, object 2 afterwards.
+        assert assignments[1].approx_equal(IntervalSet.single(0.2, 0.5))
+        assert assignments[2].approx_equal(IntervalSet.single(0.5, 0.9))
+
+    def test_empty_profiles(self):
+        assert evaluate_piecewise({}, 3, 0.2, 0.8) == {}

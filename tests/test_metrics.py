@@ -1,0 +1,74 @@
+"""Unit tests for counters and timers."""
+
+import time
+
+import pytest
+
+from repro.metrics.counters import MetricsCollector
+from repro.metrics.timer import Timer
+
+
+class TestMetricsCollector:
+    def test_increment_and_get(self):
+        metrics = MetricsCollector()
+        metrics.increment("x")
+        metrics.increment("x", 4)
+        assert metrics.get("x") == 5
+        assert metrics.get("unknown") == 0
+
+    def test_reset(self):
+        metrics = MetricsCollector()
+        metrics.increment(MetricsCollector.NODE_ACCESSES)
+        metrics.reset()
+        assert metrics.get(MetricsCollector.NODE_ACCESSES) == 0
+
+    def test_as_dict_is_copy(self):
+        metrics = MetricsCollector()
+        metrics.increment("a", 2)
+        snapshot = metrics.as_dict()
+        snapshot["a"] = 100
+        assert metrics.get("a") == 2
+
+    def test_merge(self):
+        a = MetricsCollector()
+        b = MetricsCollector()
+        a.increment("x", 1)
+        b.increment("x", 2)
+        b.increment("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_iter_and_repr(self):
+        metrics = MetricsCollector()
+        metrics.increment("a")
+        assert list(metrics) == ["a"]
+        assert "a=1" in repr(metrics)
+
+
+class TestTimer:
+    def test_context_manager_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_accumulates_over_multiple_runs(self):
+        timer = Timer()
+        timer.start()
+        time.sleep(0.005)
+        first = timer.stop()
+        timer.start()
+        time.sleep(0.005)
+        second = timer.stop()
+        assert second > first
+
+    def test_reset(self):
+        timer = Timer()
+        timer.start()
+        timer.stop()
+        timer.reset()
+        assert timer.elapsed == 0.0

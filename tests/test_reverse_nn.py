@@ -1,0 +1,103 @@
+"""Tests for the reverse AKNN extension query."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import FuzzyDatabase
+from repro.core.reverse_nn import ReverseAKNNSearcher
+from repro.exceptions import InvalidQueryError
+from repro.fuzzy.alpha_distance import alpha_distance
+from tests.conftest import make_fuzzy_object
+
+
+def brute_force_reverse_knn(objects, query, k, alpha):
+    """A is a reverse kNN of Q iff fewer than k objects are strictly closer to A."""
+    result = []
+    for a in objects:
+        distance_to_query = alpha_distance(a, query, alpha)
+        closer = sum(
+            1
+            for b in objects
+            if b.object_id != a.object_id
+            and alpha_distance(a, b, alpha) < distance_to_query
+        )
+        if closer < k:
+            result.append(a.object_id)
+    return sorted(result)
+
+
+@pytest.fixture
+def reverse_setup(rng):
+    objects = [
+        make_fuzzy_object(rng, n_points=12, center=rng.random(2) * 8, object_id=i)
+        for i in range(22)
+    ]
+    database = FuzzyDatabase.build(objects)
+    query = make_fuzzy_object(rng, n_points=12, center=[4.0, 4.0])
+    yield database, objects, query
+    database.close()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("method", ["linear", "pruned"])
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_matches_brute_force(self, reverse_setup, method, k):
+        database, objects, query = reverse_setup
+        expected = brute_force_reverse_knn(objects, query, k, alpha=0.5)
+        result = database.reverse_aknn(query, k=k, alpha=0.5, method=method)
+        assert result.object_ids == expected
+
+    @pytest.mark.parametrize("alpha", [0.2, 0.8, 1.0])
+    def test_matches_brute_force_across_alphas(self, reverse_setup, alpha):
+        database, objects, query = reverse_setup
+        expected = brute_force_reverse_knn(objects, query, 2, alpha=alpha)
+        result = database.reverse_aknn(query, k=2, alpha=alpha, method="pruned")
+        assert result.object_ids == expected
+
+    def test_distances_reported_for_results(self, reverse_setup):
+        database, objects, query = reverse_setup
+        result = database.reverse_aknn(query, k=2, alpha=0.5)
+        by_id = {obj.object_id: obj for obj in objects}
+        for object_id in result.object_ids:
+            assert result.distances[object_id] == pytest.approx(
+                alpha_distance(by_id[object_id], query, 0.5)
+            )
+
+    def test_far_away_query_has_no_reverse_neighbors(self, reverse_setup):
+        database, objects, query = reverse_setup
+        far_query = make_fuzzy_object(np.random.default_rng(1), center=[500.0, 500.0])
+        result = database.reverse_aknn(far_query, k=1, alpha=0.5)
+        assert len(result) == 0
+
+    def test_large_k_returns_everything(self, reverse_setup):
+        database, objects, _ = reverse_setup
+        query = make_fuzzy_object(np.random.default_rng(2), center=[4.0, 4.0])
+        result = database.reverse_aknn(query, k=len(objects) + 5, alpha=0.5)
+        assert len(result) == len(objects)
+
+
+class TestCostAndValidation:
+    def test_pruned_filters_candidates(self, reverse_setup):
+        database, objects, query = reverse_setup
+        linear = database.reverse_aknn(query, k=2, alpha=0.5, method="linear")
+        pruned = database.reverse_aknn(query, k=2, alpha=0.5, method="pruned")
+        assert pruned.object_ids == linear.object_ids
+        assert pruned.stats.extra["candidates"] <= linear.stats.extra["candidates"]
+
+    def test_validation(self, reverse_setup):
+        database, _, query = reverse_setup
+        with pytest.raises(InvalidQueryError):
+            database.reverse_aknn(query, k=0, alpha=0.5)
+        with pytest.raises(InvalidQueryError):
+            database.reverse_aknn(query, k=2, alpha=0.0)
+        with pytest.raises(InvalidQueryError):
+            database.reverse_aknn(query, k=2, alpha=0.5, method="bogus")
+
+    def test_searcher_direct_use(self, reverse_setup):
+        database, objects, query = reverse_setup
+        searcher = ReverseAKNNSearcher(database.store, database.tree)
+        result = searcher.search(query, k=3, alpha=0.6)
+        expected = brute_force_reverse_knn(objects, query, 3, alpha=0.6)
+        assert result.object_ids == expected
+        assert result.stats.object_accesses > 0
+        assert result.k == 3 and result.alpha == 0.6

@@ -1,0 +1,194 @@
+"""Tests for the RKNN searcher: every method variant against the exact sweep."""
+
+import numpy as np
+import pytest
+
+from repro.core.rknn import (
+    RKNN_METHODS,
+    RKNNSearcher,
+    refine_candidates_basic,
+    refine_candidates_icr,
+)
+from repro.core.linear_scan import evaluate_piecewise
+from repro.core.results import QueryStats
+from repro.exceptions import InvalidQueryError
+from repro.fuzzy.profile import DistanceProfile
+from tests.conftest import assert_same_assignments
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("method", RKNN_METHODS)
+    @pytest.mark.parametrize("alpha_range", [(0.3, 0.7), (0.5, 0.6), (0.1, 1.0)])
+    def test_matches_linear_scan(self, dense_database, dense_queries, method, alpha_range):
+        query = dense_queries[0]
+        k = 5
+        truth = dense_database.linear_scan().rknn(query, k=k, alpha_range=alpha_range)
+        result = dense_database.rknn(query, k=k, alpha_range=alpha_range, method=method)
+        assert_same_assignments(result.assignments, truth.assignments)
+
+    @pytest.mark.parametrize("method", ["basic", "rss", "rss_icr"])
+    def test_multiple_queries(self, dense_database, dense_queries, method):
+        for query in dense_queries:
+            truth = dense_database.linear_scan().rknn(query, k=3, alpha_range=(0.4, 0.8))
+            result = dense_database.rknn(query, k=3, alpha_range=(0.4, 0.8), method=method)
+            assert_same_assignments(result.assignments, truth.assignments)
+
+    @pytest.mark.parametrize("method", ["rss", "rss_icr"])
+    def test_on_cell_dataset(self, cell_database, method):
+        from repro.datasets.queries import generate_query_object
+
+        rng = np.random.default_rng(17)
+        query = generate_query_object(rng, kind="cells", space_size=7.0, points_per_object=40)
+        truth = cell_database.linear_scan().rknn(query, k=4, alpha_range=(0.35, 0.75))
+        result = cell_database.rknn(query, k=4, alpha_range=(0.35, 0.75), method=method)
+        assert_same_assignments(result.assignments, truth.assignments)
+
+    @pytest.mark.parametrize("method", ["rss", "rss_icr"])
+    def test_different_aknn_methods_give_same_answer(self, dense_database, dense_queries, method):
+        query = dense_queries[1]
+        baseline = dense_database.rknn(
+            query, k=4, alpha_range=(0.4, 0.7), method=method, aknn_method="basic"
+        )
+        optimised = dense_database.rknn(
+            query, k=4, alpha_range=(0.4, 0.7), method=method, aknn_method="lb_lp_ub"
+        )
+        assert_same_assignments(optimised.assignments, baseline.assignments)
+
+    def test_k_larger_than_dataset(self, dense_database, dense_queries):
+        result = dense_database.rknn(dense_queries[0], k=10_000, alpha_range=(0.4, 0.6), method="rss_icr")
+        # every object qualifies over the entire range
+        assert len(result) == len(dense_database)
+        for ranges in result.assignments.values():
+            assert ranges.contains(0.4) and ranges.contains(0.6)
+
+    def test_degenerate_range_matches_aknn(self, dense_database, dense_queries):
+        query = dense_queries[2]
+        aknn = dense_database.linear_scan().aknn(query, k=5, alpha=0.55)
+        rknn = dense_database.rknn(query, k=5, alpha_range=(0.55, 0.55), method="rss_icr")
+        assert sorted(rknn.object_ids) == sorted(aknn.object_ids)
+
+    def test_result_metadata_and_qualifying_at(self, dense_database, dense_queries):
+        query = dense_queries[0]
+        result = dense_database.rknn(query, k=4, alpha_range=(0.4, 0.7), method="rss")
+        assert result.k == 4
+        assert result.alpha_range == (0.4, 0.7)
+        assert result.method == "rss"
+        truth = dense_database.linear_scan().aknn(query, k=4, alpha=0.55)
+        assert sorted(result.qualifying_at(0.55)) == sorted(truth.object_ids)
+
+
+class TestValidation:
+    def test_invalid_parameters(self, dense_database, dense_queries):
+        query = dense_queries[0]
+        with pytest.raises(InvalidQueryError):
+            dense_database.rknn(query, k=0, alpha_range=(0.3, 0.6))
+        with pytest.raises(InvalidQueryError):
+            dense_database.rknn(query, k=3, alpha_range=(0.6, 0.3))
+        with pytest.raises(InvalidQueryError):
+            dense_database.rknn(query, k=3, alpha_range=(0.0, 0.6))
+        with pytest.raises(InvalidQueryError):
+            dense_database.rknn(query, k=3, alpha_range=(0.3, 0.6), method="bogus")
+
+    def test_empty_database(self):
+        from repro.core.database import FuzzyDatabase
+        from repro.fuzzy.fuzzy_object import FuzzyObject
+
+        database = FuzzyDatabase.build([])
+        result = database.rknn(FuzzyObject.single_point([0.0, 0.0]), k=3, alpha_range=(0.3, 0.6))
+        assert len(result) == 0
+
+
+class TestCostBehaviour:
+    def test_basic_issues_multiple_aknn_calls(self, dense_database, dense_queries):
+        result = dense_database.rknn(
+            dense_queries[0], k=5, alpha_range=(0.3, 0.7), method="basic"
+        )
+        assert result.stats.aknn_calls >= 2
+
+    def test_rss_issues_one_aknn_and_one_range_call(self, dense_database, dense_queries):
+        result = dense_database.rknn(
+            dense_queries[0], k=5, alpha_range=(0.3, 0.7), method="rss"
+        )
+        assert result.stats.aknn_calls == 1
+        assert result.stats.range_calls == 1
+
+    def test_rss_accesses_fewer_objects_than_basic(self, dense_database, dense_queries):
+        """Lemma 3 pruning: RSS must not access more objects than the basic
+        sweep (summed over queries; this is Figure 13's headline claim)."""
+        basic_total = 0
+        rss_total = 0
+        for query in dense_queries:
+            basic_total += dense_database.rknn(
+                query, k=5, alpha_range=(0.3, 0.7), method="basic"
+            ).stats.object_accesses
+            rss_total += dense_database.rknn(
+                query, k=5, alpha_range=(0.3, 0.7), method="rss"
+            ).stats.object_accesses
+        assert rss_total <= basic_total
+
+    def test_icr_reduces_refinement_steps(self, dense_database, dense_queries):
+        """Lemma 4: RSS-ICR checks no more critical probabilities than RSS."""
+        rss_steps = 0
+        icr_steps = 0
+        for query in dense_queries:
+            rss_steps += dense_database.rknn(
+                query, k=5, alpha_range=(0.2, 0.9), method="rss"
+            ).stats.refinement_steps
+            icr_steps += dense_database.rknn(
+                query, k=5, alpha_range=(0.2, 0.9), method="rss_icr"
+            ).stats.refinement_steps
+        assert icr_steps <= rss_steps
+
+    def test_rss_and_icr_same_object_accesses(self, dense_database, dense_queries):
+        query = dense_queries[0]
+        rss = dense_database.rknn(query, k=5, alpha_range=(0.3, 0.7), method="rss")
+        icr = dense_database.rknn(query, k=5, alpha_range=(0.3, 0.7), method="rss_icr")
+        assert rss.stats.object_accesses == icr.stats.object_accesses
+
+    def test_candidate_count_recorded(self, dense_database, dense_queries):
+        result = dense_database.rknn(
+            dense_queries[0], k=5, alpha_range=(0.3, 0.7), method="rss"
+        )
+        assert result.stats.extra.get("candidates", 0) >= 5
+
+
+class TestRefinementHelpers:
+    """The in-memory refinement routines against the exact piecewise sweep."""
+
+    @staticmethod
+    def _random_profiles(rng, count=12, levels=6):
+        profiles = {}
+        for object_id in range(count):
+            level_values = np.sort(rng.choice(np.linspace(0.05, 1.0, 20), size=levels, replace=False))
+            if level_values[-1] < 1.0:
+                level_values = np.append(level_values, 1.0)
+            base = rng.random() * 3
+            increments = np.cumsum(rng.random(level_values.size) * rng.integers(0, 2, level_values.size))
+            profiles[object_id] = DistanceProfile(level_values, base + increments)
+        return profiles
+
+    @pytest.mark.parametrize("k", [1, 3, 6])
+    @pytest.mark.parametrize("refine", [refine_candidates_basic, refine_candidates_icr])
+    def test_refinement_matches_piecewise_sweep(self, k, refine):
+        rng = np.random.default_rng(k)
+        for trial in range(5):
+            profiles = self._random_profiles(np.random.default_rng(trial * 13 + k))
+            alpha_start, alpha_end = 0.2, 0.9
+            expected = evaluate_piecewise(profiles, k, alpha_start, alpha_end)
+            actual = refine(profiles, k, alpha_start, alpha_end, QueryStats())
+            assert_same_assignments(actual, expected)
+
+    def test_icr_never_more_steps_than_basic(self):
+        rng = np.random.default_rng(99)
+        profiles = self._random_profiles(rng, count=20, levels=8)
+        basic_stats, icr_stats = QueryStats(), QueryStats()
+        refine_candidates_basic(profiles, 4, 0.1, 0.95, basic_stats)
+        refine_candidates_icr(profiles, 4, 0.1, 0.95, icr_stats)
+        assert icr_stats.refinement_steps <= basic_stats.refinement_steps
+
+    def test_single_candidate(self):
+        profiles = {7: DistanceProfile([0.5, 1.0], [1.0, 2.0])}
+        for refine in (refine_candidates_basic, refine_candidates_icr):
+            assignments = refine(profiles, 2, 0.3, 0.8)
+            assert list(assignments.keys()) == [7]
+            assert assignments[7].contains(0.3) and assignments[7].contains(0.8)
