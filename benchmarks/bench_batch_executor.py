@@ -1,0 +1,170 @@
+"""Benchmark: vectorized batch executor vs. looped single-query AKNN.
+
+Measures a 64-query AKNN batch (paper-style synthetic dataset, n=10k objects
+by default) through ``Database.aknn_batch`` against looping the single-query
+``Database.aknn``, asserts the neighbour sets are identical, and writes the
+``BENCH_batch.json`` baseline next to this file so the performance trajectory
+of the batch engine is tracked from PR to PR.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_batch_executor.py
+    PYTHONPATH=src python benchmarks/bench_batch_executor.py --quick
+
+The default configuration warms every caching layer first (store buffer
+pool, per-object alpha-cut caches, node alpha caches, representative index)
+so both paths are measured steady-state, which is the regime the batch
+engine targets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy
+
+from repro.config import RuntimeConfig
+from repro.datasets.builder import DatasetBundle
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_batch.json"
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-objects", type=int, default=10_000)
+    parser.add_argument("--points-per-object", type=int, default=40)
+    parser.add_argument("--n-queries", type=int, default=64)
+    parser.add_argument("--k", type=int, default=20)
+    parser.add_argument("--alpha", type=float, default=0.5)
+    parser.add_argument("--method", default="lb_lp_ub")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--cache-capacity", type=int, default=4096)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny configuration for smoke-testing the harness",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="exit non-zero when the measured speedup falls below this factor",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=BASELINE_PATH,
+        help="where to write the JSON baseline (default: benchmarks/BENCH_batch.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n_objects = 500
+        args.points_per_object = 16
+        args.n_queries = 16
+        args.k = 5
+        args.repeats = 1
+    return args
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    config = RuntimeConfig(cache_capacity=args.cache_capacity)
+    print(
+        f"building synthetic dataset: n={args.n_objects}, "
+        f"points/object={args.points_per_object} ...",
+        flush=True,
+    )
+    t0 = time.perf_counter()
+    bundle = DatasetBundle.create(
+        n_objects=args.n_objects,
+        points_per_object=args.points_per_object,
+        seed=args.seed,
+        config=config,
+    )
+    database = bundle.database
+    queries = bundle.queries(args.n_queries)
+    print(f"build took {time.perf_counter() - t0:.1f}s")
+
+    # Warm every caching layer so both paths are measured steady-state.
+    for query in queries:
+        database.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
+    database.aknn_batch(queries, k=args.k, alpha=args.alpha, method=args.method)
+
+    loop_seconds = np.inf
+    loop_results = None
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        loop_results = [
+            database.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
+            for query in queries
+        ]
+        loop_seconds = min(loop_seconds, time.perf_counter() - t0)
+
+    batch_seconds = np.inf
+    batch = None
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        batch = database.aknn_batch(
+            queries, k=args.k, alpha=args.alpha, method=args.method
+        )
+        batch_seconds = min(batch_seconds, time.perf_counter() - t0)
+
+    for single, result in zip(loop_results, batch.results):
+        assert set(single.object_ids) == set(result.object_ids), (
+            "batch executor diverged from the single-query path: "
+            f"{sorted(single.object_ids)} != {sorted(result.object_ids)}"
+        )
+
+    speedup = loop_seconds / batch_seconds
+    qps = args.n_queries / batch_seconds
+    print(
+        f"\nloop : {loop_seconds * 1000:8.1f} ms "
+        f"({loop_seconds / args.n_queries * 1000:.2f} ms/query)"
+    )
+    print(f"batch: {batch_seconds * 1000:8.1f} ms ({qps:.0f} queries/sec)")
+    print(f"speedup: {speedup:.2f}x (identical results)")
+
+    baseline = {
+        "benchmark": "bench_batch_executor",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "params": {
+            "n_objects": args.n_objects,
+            "points_per_object": args.points_per_object,
+            "n_queries": args.n_queries,
+            "k": args.k,
+            "alpha": args.alpha,
+            "method": args.method,
+            "cache_capacity": args.cache_capacity,
+            "repeats": args.repeats,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "machine": platform.machine(),
+        },
+        "loop_seconds": loop_seconds,
+        "batch_seconds": batch_seconds,
+        "speedup": speedup,
+        "throughput_qps": qps,
+        "batch_stats": {
+            "object_accesses": batch.stats.object_accesses,
+            "node_accesses": batch.stats.node_accesses,
+            "distance_evaluations": batch.stats.distance_evaluations,
+            "nodes_pruned": batch.stats.extra.get("nodes_pruned", 0.0),
+            "batch_candidates": batch.stats.extra.get("batch_candidates", 0.0),
+        },
+    }
+    args.output.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
+    print(f"baseline written to {args.output}")
+
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below required {args.min_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

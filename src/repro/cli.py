@@ -11,8 +11,16 @@ runnable as ``python -m repro.cli``.  Subcommands:
     a saved database or an in-memory one generated on the fly, and print the
     result together with its cost counters.
 
+``batch``
+    Run a batch of AKNN queries through the vectorized batch executor and
+    report the aggregate cost plus throughput (queries/sec).
+
 ``experiment``
     Reproduce one of the paper's figures and print the corresponding tables.
+
+All query subcommands accept ``--stats`` to additionally dump every collected
+counter, including cache hit/miss telemetry (object-store buffer pool,
+per-object alpha-cut caches, distance-profile store).
 """
 
 from __future__ import annotations
@@ -44,6 +52,11 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     _add_dataset_arguments(parser)
     parser.add_argument("--k", type=int, default=20)
     parser.add_argument("--query-seed", type=int, default=99)
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="dump every collected counter, including cache hit/miss telemetry",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,12 +86,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=("naive", "basic", "rss", "rss_icr"), default="rss_icr"
     )
 
+    batch = subparsers.add_parser(
+        "batch", help="run a batch of AKNN queries through the vectorized executor"
+    )
+    _add_query_arguments(batch)
+    batch.add_argument("--alpha", type=float, default=0.5)
+    batch.add_argument("--n-queries", type=int, default=64)
+    batch.add_argument(
+        "--method", choices=("basic", "lb", "lb_lp", "lb_lp_ub"), default="lb_lp_ub"
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool size for the refinement phase (default: config)",
+    )
+
     experiment = subparsers.add_parser("experiment", help="reproduce one paper figure")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
     experiment.add_argument(
         "--scale", choices=("tiny", "laptop", "paper"), default="laptop"
     )
     return parser
+
+
+def _print_stats_details(database: FuzzyDatabase, stats) -> None:
+    """Dump every collected counter plus cache hit/miss telemetry."""
+    from repro.fuzzy.fuzzy_object import CUT_CACHE_STATS
+
+    print("counters:")
+    for name, value in sorted(stats.as_dict().items()):
+        print(f"  {name}: {value}")
+    store = database.store.statistics
+    print(
+        f"store cache: {store.cache_hits} hits, "
+        f"{store.physical_reads} physical reads"
+    )
+    print(
+        f"alpha-cut cache: {CUT_CACHE_STATS['hits']} hits, "
+        f"{CUT_CACHE_STATS['misses']} misses"
+    )
 
 
 def _load_or_build_database(args: argparse.Namespace) -> FuzzyDatabase:
@@ -131,6 +176,37 @@ def _command_aknn(args: argparse.Namespace) -> int:
         f"{result.stats.node_accesses} node accesses, "
         f"{result.stats.elapsed_seconds:.3f}s"
     )
+    if args.stats:
+        _print_stats_details(database, result.stats)
+    database.close()
+    return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    database = _load_or_build_database(args)
+    rng = np.random.default_rng(args.query_seed)
+    queries = [
+        generate_query_object(
+            rng, kind=args.kind, space_size=args.space_size,
+            points_per_object=args.points_per_object,
+        )
+        for _ in range(args.n_queries)
+    ]
+    result = database.aknn_batch(
+        queries, k=args.k, alpha=args.alpha, method=args.method, workers=args.workers
+    )
+    print(
+        f"BATCH AKNN({args.n_queries} queries, k={args.k}, alpha={args.alpha}, "
+        f"method={args.method})"
+    )
+    print(
+        f"cost: {result.stats.object_accesses} object accesses, "
+        f"{result.stats.node_accesses} node accesses, "
+        f"{result.stats.elapsed_seconds:.3f}s"
+    )
+    print(f"throughput: {result.throughput_qps:.1f} queries/sec")
+    if args.stats:
+        _print_stats_details(database, result.stats)
     database.close()
     return 0
 
@@ -153,6 +229,8 @@ def _command_rknn(args: argparse.Namespace) -> int:
         f"{result.stats.refinement_steps} refinement steps, "
         f"{result.stats.elapsed_seconds:.3f}s"
     )
+    if args.stats:
+        _print_stats_details(database, result.stats)
     database.close()
     return 0
 
@@ -175,6 +253,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _command_generate,
         "aknn": _command_aknn,
         "rknn": _command_rknn,
+        "batch": _command_batch,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

@@ -23,6 +23,18 @@ DEFAULT_RTREE_MIN_FILL = 0.4
 # vectorised brute-force path to a KD-tree based path.
 KDTREE_CROSSOVER_POINTS = 256
 
+# Number of per-threshold Equation-2 reconstructions each leaf node's SoA view
+# memoises.  Repeated queries at the same alpha (and every query of a batch)
+# then share one reconstruction per node.
+DEFAULT_NODE_ALPHA_CACHE_CAPACITY = 8
+
+# Number of materialised alpha-cuts each fuzzy object keeps in its LRU cache.
+DEFAULT_ALPHA_CUT_CACHE_CAPACITY = 8
+
+# Number of memoised distance profiles kept per searcher (keyed by object
+# pair); 0 disables the store.
+DEFAULT_PROFILE_CACHE_CAPACITY = 256
+
 # The small epsilon used by the basic RKNN sweep (Algorithm 3) to step just
 # beyond a critical probability.  The exact sweep used in this implementation
 # steps to the next membership level instead, but the value is retained for
@@ -65,6 +77,15 @@ class RuntimeConfig:
     cache_capacity:
         Number of fuzzy objects the object-store buffer pool keeps in memory.
         ``0`` disables caching so every probe touches the backing file.
+    alpha_cut_cache_capacity:
+        Number of materialised alpha-cuts each fuzzy object handed out by the
+        store keeps in its per-object LRU cache.  ``0`` disables the cache.
+    profile_cache_capacity:
+        Number of memoised distance profiles (keyed by object pair) the RKNN
+        searcher keeps.  ``0`` disables the store.
+    batch_workers:
+        Default worker-thread count of the batch query executor.  ``0`` (and
+        ``1``) evaluate the batch on the calling thread.
     """
 
     upper_bound_samples: int = DEFAULT_UPPER_BOUND_SAMPLES
@@ -72,6 +93,9 @@ class RuntimeConfig:
     rtree_min_fill: float = DEFAULT_RTREE_MIN_FILL
     use_kdtree: bool = True
     cache_capacity: int = 0
+    alpha_cut_cache_capacity: int = DEFAULT_ALPHA_CUT_CACHE_CAPACITY
+    profile_cache_capacity: int = DEFAULT_PROFILE_CACHE_CAPACITY
+    batch_workers: int = 0
     extra: dict = field(default_factory=dict)
 
     def validate(self) -> "RuntimeConfig":
@@ -84,6 +108,12 @@ class RuntimeConfig:
             raise ValueError("rtree_min_fill must be in (0, 0.5]")
         if self.cache_capacity < 0:
             raise ValueError("cache_capacity must be >= 0")
+        if self.alpha_cut_cache_capacity < 0:
+            raise ValueError("alpha_cut_cache_capacity must be >= 0")
+        if self.profile_cache_capacity < 0:
+            raise ValueError("profile_cache_capacity must be >= 0")
+        if self.batch_workers < 0:
+            raise ValueError("batch_workers must be >= 0")
         return self
 
 

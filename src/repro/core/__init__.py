@@ -21,6 +21,7 @@ are exposed for experimentation and benchmarking:
 
 from repro.core.results import (
     AKNNResult,
+    BatchResult,
     Neighbor,
     QueryStats,
     RKNNResult,
@@ -28,6 +29,7 @@ from repro.core.results import (
 )
 from repro.core.query import PreparedQuery
 from repro.core.aknn import AKNNSearcher, AKNN_METHODS
+from repro.core.executor import BatchQueryExecutor
 from repro.core.range_search import AlphaRangeSearcher
 from repro.core.rknn import RKNNSearcher, RKNN_METHODS
 from repro.core.linear_scan import LinearScanSearcher
@@ -37,6 +39,7 @@ from repro.core.reverse_nn import ReverseAKNNSearcher, ReverseKNNResult, REVERSE
 
 __all__ = [
     "AKNNResult",
+    "BatchResult",
     "Neighbor",
     "QueryStats",
     "RKNNResult",
@@ -44,6 +47,7 @@ __all__ = [
     "PreparedQuery",
     "AKNNSearcher",
     "AKNN_METHODS",
+    "BatchQueryExecutor",
     "AlphaRangeSearcher",
     "RKNNSearcher",
     "RKNN_METHODS",

@@ -150,16 +150,17 @@ class AKNNSearcher:
             key, _, kind, payload = heapq.heappop(heap)
             if kind == _NODE:
                 metrics.increment(MetricsCollector.NODE_ACCESSES)
-                for entry in payload.entries:
-                    if isinstance(entry, LeafEntry):
-                        bound = (
-                            prepared.improved_lower_bound(entry.summary)
-                            if improved
-                            else prepared.simple_lower_bound(entry.summary)
-                        )
+                if not payload.entries:
+                    continue
+                # Whole-node bound evaluation against the SoA view: one NumPy
+                # call per node instead of one Python call per entry.
+                if payload.is_leaf:
+                    bounds = prepared.leaf_lower_bounds(payload.soa(), improved=improved)
+                    for entry, bound in zip(payload.entries, bounds):
                         heapq.heappush(heap, (bound, next(counter), _LEAF, entry))
-                    else:
-                        bound = prepared.node_lower_bound(entry.mbr)
+                else:
+                    bounds = prepared.node_lower_bounds(payload.soa())
+                    for entry, bound in zip(payload.entries, bounds):
                         heapq.heappush(heap, (bound, next(counter), _NODE, entry.child))
             elif kind == _LEAF:
                 obj = self.store.get(payload.object_id)
@@ -190,14 +191,25 @@ class AKNNSearcher:
             heapq.heappush(heap, (0.0, next(counter), _NODE, self.tree.root))
         buffer: List[_Candidate] = []
         result: List[Neighbor] = []
+        # Upper bounds are evaluated lazily, one whole node at a time: the
+        # first entry popped from a leaf node triggers a single vectorized
+        # evaluation shared by its siblings, so nodes whose entries never
+        # leave the heap pay nothing (matching the lazy-probe accounting at
+        # node granularity).
+        node_uppers: dict = {}
+
+        def upper_bounds_for(soa) -> List[float]:
+            key = id(soa)
+            uppers = node_uppers.get(key)
+            if uppers is None:
+                uppers = prepared.leaf_upper_bounds(
+                    soa, use_representative=use_representative_ub
+                )
+                node_uppers[key] = uppers
+            return uppers
 
         def head_key() -> float:
             return heap[0][0] if heap else float("inf")
-
-        def upper_bound(entry: LeafEntry) -> float:
-            if use_representative_ub:
-                return prepared.combined_upper_bound(entry.summary)
-            return prepared.maxdist_upper_bound(entry.summary)
 
         def try_confirm() -> bool:
             """Emit one buffered candidate that is provably in the top-k."""
@@ -270,16 +282,28 @@ class AKNNSearcher:
             key, _, kind, payload = heapq.heappop(heap)
             if kind == _NODE:
                 metrics.increment(MetricsCollector.NODE_ACCESSES)
-                for entry in payload.entries:
-                    if isinstance(entry, LeafEntry):
-                        bound = prepared.improved_lower_bound(entry.summary)
-                        heapq.heappush(heap, (bound, next(counter), _LEAF, entry))
-                    else:
-                        bound = prepared.node_lower_bound(entry.mbr)
+                if not payload.entries:
+                    continue
+                # Whole-node lower-bound evaluation against the SoA view; the
+                # entry remembers its node row so the upper bound can be
+                # resolved lazily on pop.
+                if payload.is_leaf:
+                    soa = payload.soa()
+                    lowers = prepared.leaf_lower_bounds(soa, improved=True)
+                    for index, (entry, lower) in enumerate(
+                        zip(payload.entries, lowers)
+                    ):
+                        heapq.heappush(
+                            heap, (lower, next(counter), _LEAF, (entry, soa, index))
+                        )
+                else:
+                    bounds = prepared.node_lower_bounds(payload.soa())
+                    for entry, bound in zip(payload.entries, bounds):
                         heapq.heappush(heap, (bound, next(counter), _NODE, entry.child))
             else:  # _LEAF
-                candidate = _Candidate(payload, lower=key, upper=upper_bound(payload))
-                buffer.append(candidate)
+                entry, soa, index = payload
+                upper = upper_bounds_for(soa)[index]
+                buffer.append(_Candidate(entry, lower=key, upper=upper))
         return result
 
     # ------------------------------------------------------------------

@@ -26,9 +26,10 @@ import numpy as np
 
 from repro.config import RuntimeConfig
 from repro.core.aknn import AKNNSearcher
+from repro.core.executor import BatchQueryExecutor
 from repro.core.linear_scan import LinearScanSearcher
 from repro.core.range_search import AlphaRangeSearcher
-from repro.core.results import AKNNResult, RangeSearchResult, RKNNResult
+from repro.core.results import AKNNResult, BatchResult, RangeSearchResult, RKNNResult
 from repro.core.rknn import RKNNSearcher
 from repro.exceptions import StorageError
 from repro.fuzzy.fuzzy_object import FuzzyObject
@@ -60,6 +61,7 @@ class FuzzyDatabase:
         self._rknn = RKNNSearcher(store, tree, self.config)
         self._range = AlphaRangeSearcher(store, tree, self.config)
         self._linear = LinearScanSearcher(store, self.config)
+        self._executor = BatchQueryExecutor(store, tree, self.config)
 
     # ------------------------------------------------------------------
     # Construction
@@ -93,7 +95,11 @@ class FuzzyDatabase:
             directory = Path(path)
             directory.mkdir(parents=True, exist_ok=True)
             data_path = directory / _DATA_FILE
-        store = ObjectStore(path=data_path, cache_capacity=config.cache_capacity)
+        store = ObjectStore(
+            path=data_path,
+            cache_capacity=config.cache_capacity,
+            cut_cache_capacity=config.alpha_cut_cache_capacity,
+        )
 
         summaries: Dict[int, FuzzyObjectSummary] = {}
         for obj in objects:
@@ -145,6 +151,29 @@ class FuzzyDatabase:
     ) -> AKNNResult:
         """Ad-hoc kNN query (Definition 4)."""
         return self._aknn.search(query, k, alpha, method=method, rng=rng)
+
+    def aknn_batch(
+        self,
+        queries: Iterable[FuzzyObject],
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+        workers: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> BatchResult:
+        """Answer a batch of AKNN queries through the vectorized executor.
+
+        One R-tree traversal is shared by the whole batch, all bounds are
+        evaluated as ``(batch, node)`` matrices, and every probed object is
+        fetched once; see :class:`~repro.core.executor.BatchQueryExecutor`.
+        Neighbour sets are identical to looping :meth:`aknn` per query, up to
+        ties: when several objects sit at exactly the k-th distance, any of
+        the equally-correct k-sets may be returned (the batch engine breaks
+        ties by object id, the single-query searchers by traversal order).
+        """
+        return self._executor.aknn_batch(
+            list(queries), k, alpha, method=method, workers=workers, rng=rng
+        )
 
     def rknn(
         self,
@@ -311,7 +340,10 @@ class FuzzyDatabase:
             for oid, slot in catalog["slots"].items()
         }
         store = ObjectStore.open_existing(
-            data_path, slot_table, cache_capacity=config.cache_capacity
+            data_path,
+            slot_table,
+            cache_capacity=config.cache_capacity,
+            cut_cache_capacity=config.alpha_cut_cache_capacity,
         )
         summaries = {
             int(payload["object_id"]): FuzzyObjectSummary.from_dict(payload)

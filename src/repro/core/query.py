@@ -17,7 +17,7 @@ objects, charging the metric counters as it goes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from repro.fuzzy.summary import FuzzyObjectSummary
 from repro.geometry.distance import point_to_set_distance
 from repro.geometry.mbr import MBR, max_dist, min_dist
 from repro.metrics.counters import MetricsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking import only
+    from repro.index.soa import NodeSoA
 
 
 class PreparedQuery:
@@ -93,6 +96,42 @@ class PreparedQuery:
             self.maxdist_upper_bound(summary),
             self.representative_upper_bound(summary),
         )
+
+    # ------------------------------------------------------------------
+    # Vectorized bounds against whole nodes (struct-of-arrays views)
+    # ------------------------------------------------------------------
+    def node_lower_bounds(self, soa: "NodeSoA") -> List[float]:
+        """``MinDist`` of ``M_Q(alpha)`` to every child MBR of an internal node."""
+        return soa.min_dist(self.query_mbr.lower, self.query_mbr.upper).tolist()
+
+    def leaf_lower_bounds(self, soa: "NodeSoA", improved: bool) -> List[float]:
+        """Lower bounds for every entry of a leaf node in one NumPy call.
+
+        ``improved`` selects ``d-_alpha`` (Section 3.2) over the basic
+        ``MinDist`` of support MBRs; element-wise the values match the scalar
+        :meth:`improved_lower_bound` / :meth:`simple_lower_bound`.
+        """
+        self.metrics.increment(MetricsCollector.LOWER_BOUND_EVALUATIONS, soa.n)
+        if improved:
+            bounds = soa.improved_min_dist(
+                self.alpha, self.query_mbr.lower, self.query_mbr.upper
+            )
+        else:
+            bounds = soa.min_dist(self.query_mbr.lower, self.query_mbr.upper)
+        return bounds.tolist()
+
+    def leaf_upper_bounds(self, soa: "NodeSoA", use_representative: bool) -> List[float]:
+        """Upper bounds (``d+_alpha``) for every entry of a leaf node.
+
+        ``use_representative`` additionally applies the Lemma 1 bound from the
+        stored kernel representatives to the sampled ``Q'_alpha`` and keeps
+        the tighter value per entry, matching :meth:`combined_upper_bound`.
+        """
+        self.metrics.increment(MetricsCollector.UPPER_BOUND_EVALUATIONS, soa.n)
+        bounds = soa.max_dist(self.alpha, self.query_mbr.lower, self.query_mbr.upper)
+        if use_representative:
+            bounds = np.minimum(bounds, soa.rep_upper_bounds(self.query_samples))
+        return bounds.tolist()
 
     # ------------------------------------------------------------------
     # Exact distances

@@ -93,23 +93,27 @@ class AlphaRangeSearcher:
         while stack:
             node = stack.pop()
             metrics.increment(MetricsCollector.NODE_ACCESSES)
-            for entry in node.entries:
-                if node.is_leaf:
-                    leaf: LeafEntry = entry  # type: ignore[assignment]
-                    bound = (
-                        prepared.improved_lower_bound(leaf.summary)
-                        if use_improved_bounds
-                        else prepared.simple_lower_bound(leaf.summary)
-                    )
+            if not node.entries:
+                continue
+            # Bounds for the whole node come from its SoA view in one NumPy
+            # call; only surviving entries are touched in Python.
+            if node.is_leaf:
+                bounds = prepared.leaf_lower_bounds(
+                    node.soa(), improved=use_improved_bounds
+                )
+                for entry, bound in zip(node.entries, bounds):
                     if bound > radius:
                         continue
+                    leaf: LeafEntry = entry  # type: ignore[assignment]
                     obj = self.store.get(leaf.object_id)
                     distance = prepared.distance_to(obj)
                     if distance <= radius:
                         matches.append((leaf.object_id, distance))
                         objects[leaf.object_id] = obj
-                else:
-                    if prepared.node_lower_bound(entry.mbr) <= radius:
+            else:
+                bounds = prepared.node_lower_bounds(node.soa())
+                for entry, bound in zip(node.entries, bounds):
+                    if bound <= radius:
                         stack.append(entry.child)  # type: ignore[union-attr]
         matches.sort(key=lambda pair: (pair[1], pair[0]))
         return matches, objects

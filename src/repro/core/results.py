@@ -105,6 +105,37 @@ class AKNNResult:
 
 
 @dataclass
+class BatchResult:
+    """Answer of a batched AKNN call (one :class:`AKNNResult` per query).
+
+    ``stats`` aggregates the whole batch: node accesses count *shared* visits
+    (each R-tree node is expanded at most once per batch), ``object_accesses``
+    counts unique objects fetched, and ``stats.extra`` carries the executor's
+    throughput and cache telemetry.
+    """
+
+    results: List[AKNNResult]
+    k: int
+    alpha: float
+    method: str
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def throughput_qps(self) -> float:
+        """Queries answered per second of wall-clock batch time."""
+        if self.stats.elapsed_seconds <= 0.0:
+            return 0.0
+        return len(self.results) / self.stats.elapsed_seconds
+
+    def object_id_sets(self) -> List[List[int]]:
+        """Per-query neighbour id lists (order insensitive per the paper)."""
+        return [result.object_ids for result in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+@dataclass
 class RangeSearchResult:
     """Answer of a range-at-alpha search (all objects within ``radius``)."""
 

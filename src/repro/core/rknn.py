@@ -49,7 +49,11 @@ from repro.core.query import PreparedQuery
 from repro.core.range_search import AlphaRangeSearcher
 from repro.core.results import QueryStats, RKNNResult
 from repro.exceptions import InvalidQueryError
-from repro.fuzzy.alpha_distance import alpha_distance, distance_profile
+from repro.fuzzy.alpha_distance import (
+    DistanceProfileStore,
+    alpha_distance,
+    distance_profile,
+)
 from repro.fuzzy.fuzzy_object import FuzzyObject
 from repro.fuzzy.intervals import IntervalSet
 from repro.fuzzy.profile import DistanceProfile
@@ -82,6 +86,7 @@ class RKNNSearcher:
         self.config = (config or RuntimeConfig()).validate()
         self.aknn_searcher = AKNNSearcher(store, tree, self.config)
         self.range_searcher = AlphaRangeSearcher(store, tree, self.config)
+        self.profile_store = DistanceProfileStore(self.config.profile_cache_capacity)
 
     # ------------------------------------------------------------------
     # Public API
@@ -105,6 +110,8 @@ class RKNNSearcher:
         alpha_start, alpha_end = self._validate_range(alpha_range)
         stats = QueryStats()
         before = self.store.statistics.snapshot()
+        profile_hits_before = self.profile_store.hits
+        profile_misses_before = self.profile_store.misses
         timer = Timer().start()
 
         if method == "naive":
@@ -130,6 +137,12 @@ class RKNNSearcher:
         stats.elapsed_seconds = timer.stop()
         stats.object_accesses = (
             self.store.statistics.object_accesses - before.object_accesses
+        )
+        stats.extra["profile_cache_hits"] = float(
+            self.profile_store.hits - profile_hits_before
+        )
+        stats.extra["profile_cache_misses"] = float(
+            self.profile_store.misses - profile_misses_before
         )
         return RKNNResult(
             assignments=assignments,
@@ -238,12 +251,21 @@ class RKNNSearcher:
         alpha_end: float,
         cache: Dict[int, DistanceProfile],
     ) -> DistanceProfile:
-        """Distance profile of one object, probing the store at most once."""
+        """Distance profile of one object, probing the store at most once.
+
+        Consults the searcher-level :class:`DistanceProfileStore` first, so a
+        hit skips the object probe entirely (and repeated calls with the same
+        query instance reuse profiles across sweeps).
+        """
         if object_id not in cache:
-            obj = self.store.get(object_id)
-            cache[object_id] = distance_profile(
-                obj, query, use_kdtree=self.config.use_kdtree, max_level=alpha_end
-            )
+            profile = self.profile_store.lookup(query, object_id, alpha_end)
+            if profile is None:
+                obj = self.store.get(object_id)
+                profile = distance_profile(
+                    obj, query, use_kdtree=self.config.use_kdtree, max_level=alpha_end
+                )
+                self.profile_store.insert(query, object_id, profile, alpha_end)
+            cache[object_id] = profile
         return cache[object_id]
 
     # ------------------------------------------------------------------
@@ -299,12 +321,16 @@ class RKNNSearcher:
 
         profiles: Dict[int, DistanceProfile] = {}
         for object_id, _ in matches:
-            profiles[object_id] = distance_profile(
-                objects[object_id],
-                query,
-                use_kdtree=self.config.use_kdtree,
-                max_level=alpha_end,
-            )
+            profile = self.profile_store.lookup(query, object_id, alpha_end)
+            if profile is None:
+                profile = distance_profile(
+                    objects[object_id],
+                    query,
+                    use_kdtree=self.config.use_kdtree,
+                    max_level=alpha_end,
+                )
+                self.profile_store.insert(query, object_id, profile, alpha_end)
+            profiles[object_id] = profile
         return profiles
 
     def _exact_kth_distance(

@@ -12,7 +12,7 @@ exact RKNN processing.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.exceptions import EmptyAlphaCutError, InvalidFuzzyObjectError
 from repro.fuzzy.fuzzy_object import MEMBERSHIP_ATOL, FuzzyObject
 from repro.fuzzy.profile import DistanceProfile
 from repro.geometry.distance import closest_pair_distance
+from repro.storage.cache import LRUCache
 
 
 def alpha_distance_points(
@@ -107,3 +108,78 @@ def distance_profile(
             pts_a[:count_a], pts_b[:count_b], use_kdtree=use_kdtree
         )
     return DistanceProfile(levels, distances)
+
+
+class DistanceProfileStore:
+    """Memoised distance profiles keyed by ``(query, stored object)`` pairs.
+
+    The RKNN algorithms recompute the profile of the same (query, candidate)
+    pair across sweep steps and across repeated calls with the same query
+    object; this store bounds that work with an LRU of
+    :class:`~repro.storage.cache.LRUCache`.
+
+    The query side of the key is the *instance identity* of the query object
+    (queries typically carry no object id); to keep ``id()`` keys valid, every
+    cached value pins a strong reference to its query object, and a hit is
+    only served when the pinned instance is the caller's instance.  The stored
+    side is keyed by object id, which is stable within one database.
+    """
+
+    def __init__(self, capacity: int):
+        self._cache: LRUCache[
+            Tuple[int, int, Optional[float]], Tuple[FuzzyObject, DistanceProfile]
+        ] = LRUCache(capacity)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of memoised profiles (0 disables the store)."""
+        return self._cache.capacity
+
+    @property
+    def hits(self) -> int:
+        """Number of lookups served from the store."""
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        """Number of lookups that had to recompute."""
+        return self._cache.misses
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @staticmethod
+    def _key(
+        query: FuzzyObject, object_id: int, max_level: Optional[float]
+    ) -> Tuple[int, int, Optional[float]]:
+        return (id(query), int(object_id), None if max_level is None else float(max_level))
+
+    def lookup(
+        self, query: FuzzyObject, object_id: int, max_level: Optional[float] = None
+    ) -> Optional[DistanceProfile]:
+        """The memoised profile for the pair, or ``None`` on a miss."""
+        value = self._cache.get(self._key(query, object_id, max_level))
+        if value is None:
+            return None
+        pinned_query, profile = value
+        if pinned_query is not query:  # pragma: no cover - id() reuse guard
+            return None
+        return profile
+
+    def insert(
+        self,
+        query: FuzzyObject,
+        object_id: int,
+        profile: DistanceProfile,
+        max_level: Optional[float] = None,
+    ) -> None:
+        """Memoise one computed profile."""
+        self._cache.put(self._key(query, object_id, max_level), (query, profile))
+
+    def clear(self) -> None:
+        """Drop every memoised profile (statistics are preserved)."""
+        self._cache.clear()
+
+    def reset_statistics(self) -> None:
+        """Zero the hit/miss counters."""
+        self._cache.reset_statistics()

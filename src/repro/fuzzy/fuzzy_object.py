@@ -12,12 +12,24 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.config import DEFAULT_ALPHA_CUT_CACHE_CAPACITY
 from repro.exceptions import EmptyAlphaCutError, InvalidFuzzyObjectError
 from repro.geometry.mbr import MBR
 
 # Tolerance used when comparing membership values against a threshold so that
 # values like 0.7000000000000001 produced by normalisation still count as 0.7.
 MEMBERSHIP_ATOL = 1e-12
+
+#: Library-wide alpha-cut cache counters (aggregated over every object, since
+#: the per-object caches are short-lived); surfaced by the CLI ``--stats``
+#: output and resettable through :func:`reset_cut_cache_statistics`.
+CUT_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def reset_cut_cache_statistics() -> None:
+    """Zero the global alpha-cut cache hit/miss counters."""
+    CUT_CACHE_STATS["hits"] = 0
+    CUT_CACHE_STATS["misses"] = 0
 
 
 class FuzzyObject:
@@ -36,7 +48,15 @@ class FuzzyObject:
         must contain at least one point with membership 1.
     """
 
-    __slots__ = ("points", "memberships", "object_id", "_levels", "_order")
+    __slots__ = (
+        "points",
+        "memberships",
+        "object_id",
+        "_levels",
+        "_order",
+        "_cut_cache",
+        "_cut_cache_capacity",
+    )
 
     def __init__(
         self,
@@ -71,6 +91,10 @@ class FuzzyObject:
         # Points sorted by decreasing membership; lets alpha-cuts be taken as
         # prefixes which keeps repeated cuts cheap.
         self._order: Optional[np.ndarray] = None
+        # Materialised alpha-cuts keyed by threshold (built lazily; see
+        # set_cut_cache_capacity).
+        self._cut_cache = None
+        self._cut_cache_capacity = DEFAULT_ALPHA_CUT_CACHE_CAPACITY
 
     # ------------------------------------------------------------------
     # Constructors
@@ -159,15 +183,46 @@ class FuzzyObject:
         return self.points[mask]
 
     def alpha_cut(self, alpha: float) -> np.ndarray:
-        """The alpha-cut ``A_alpha`` (points with membership >= alpha)."""
+        """The alpha-cut ``A_alpha`` (points with membership >= alpha).
+
+        Materialised cuts are memoised in a small per-object LRU cache (see
+        :meth:`set_cut_cache_capacity`); callers treat the returned array as
+        read-only.
+        """
         self._check_alpha(alpha)
+        key = float(alpha)
+        cache = self._ensure_cut_cache()
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                CUT_CACHE_STATS["hits"] += 1
+                return cached
+            CUT_CACHE_STATS["misses"] += 1
         mask = self.memberships >= alpha - MEMBERSHIP_ATOL
         cut = self.points[mask]
         if cut.shape[0] == 0:
             raise EmptyAlphaCutError(
                 f"alpha-cut at alpha={alpha} is empty for object {self.object_id}"
             )
+        if cache is not None:
+            cache.put(key, cut)
         return cut
+
+    def _ensure_cut_cache(self):
+        """The per-object LRU cut cache, or ``None`` when disabled."""
+        if self._cut_cache is None and self._cut_cache_capacity > 0:
+            # Imported lazily: the storage package depends on this module.
+            from repro.storage.cache import LRUCache
+
+            self._cut_cache = LRUCache(self._cut_cache_capacity)
+        return self._cut_cache
+
+    def set_cut_cache_capacity(self, capacity: int) -> None:
+        """Resize (or, with 0, disable) the per-object alpha-cut cache."""
+        if capacity < 0:
+            raise InvalidFuzzyObjectError("cut cache capacity must be >= 0")
+        self._cut_cache_capacity = int(capacity)
+        self._cut_cache = None
 
     def alpha_cut_size(self, alpha: float) -> int:
         """Number of points with membership >= alpha."""

@@ -69,17 +69,32 @@ def _closest_pair_brute(points_a: np.ndarray, points_b: np.ndarray) -> Tuple[flo
     best = np.inf
     best_i = best_j = 0
     b_sq = np.einsum("ij,ij->i", points_b, points_b)
+    eps = float(np.finfo(float).eps)
     for start in range(0, points_a.shape[0], _BRUTE_FORCE_CHUNK):
         chunk = points_a[start : start + _BRUTE_FORCE_CHUNK]
         a_sq = np.einsum("ij,ij->i", chunk, chunk)
         # squared distances via the expansion |a-b|^2 = |a|^2 + |b|^2 - 2 a.b
         sq = a_sq[:, None] + b_sq[None, :] - 2.0 * chunk @ points_b.T
         np.maximum(sq, 0.0, out=sq)
-        idx = np.unravel_index(np.argmin(sq), sq.shape)
-        if sq[idx] < best:
-            best = float(sq[idx])
-            best_i = start + int(idx[0])
-            best_j = int(idx[1])
+        # The expansion cancels catastrophically near zero (coincident points
+        # come out as ~1e-13 instead of 0), so every near-minimal candidate is
+        # re-evaluated with the direct formula, which is exact at zero and
+        # keeps parity with the KD-tree path.  Tie-heavy inputs (many
+        # coincident pairs) can make the candidate set large, so the
+        # re-evaluation is itself chunked to keep memory bounded.
+        chunk_min = float(sq.min())
+        slack = 16.0 * eps * (float(a_sq.max(initial=0.0)) + float(b_sq.max(initial=0.0)))
+        cand_i, cand_j = np.nonzero(sq <= chunk_min + slack)
+        for cand_start in range(0, cand_i.shape[0], _BRUTE_FORCE_CHUNK):
+            sel_i = cand_i[cand_start : cand_start + _BRUTE_FORCE_CHUNK]
+            sel_j = cand_j[cand_start : cand_start + _BRUTE_FORCE_CHUNK]
+            diffs = chunk[sel_i] - points_b[sel_j]
+            exact_sq = np.einsum("ij,ij->i", diffs, diffs)
+            pos = int(np.argmin(exact_sq))
+            if exact_sq[pos] < best:
+                best = float(exact_sq[pos])
+                best_i = start + int(sel_i[pos])
+                best_j = int(sel_j[pos])
     return float(np.sqrt(best)), best_i, best_j
 
 

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List, Optional, Union
 
 from repro.exceptions import IndexError_
 from repro.geometry.mbr import MBR
 from repro.index.entry import InternalEntry, LeafEntry
+from repro.index.soa import NodeSoA
 
 Entry = Union[LeafEntry, InternalEntry]
 
@@ -16,13 +17,21 @@ class RTreeNode:
 
     ``level`` 0 denotes a leaf node (its entries are :class:`LeafEntry`);
     higher levels hold :class:`InternalEntry` children.
+
+    Besides the entry list, every node lazily exposes a struct-of-arrays view
+    (:meth:`soa`) holding contiguous ``(n, d)`` arrays of its children's MBRs
+    and leaf summaries, which is what the searchers evaluate bounds against.
+    The view is maintained incrementally on :meth:`add` and invalidated on
+    structural rewrites.
     """
 
-    __slots__ = ("level", "entries")
+    __slots__ = ("level", "entries", "_soa", "_soa_list_id")
 
     def __init__(self, level: int = 0, entries: List[Entry] | None = None):
         self.level = level
         self.entries: List[Entry] = list(entries) if entries else []
+        self._soa: Optional[NodeSoA] = None
+        self._soa_list_id: int = 0
 
     @property
     def is_leaf(self) -> bool:
@@ -42,6 +51,38 @@ class RTreeNode:
         if not self.is_leaf and not isinstance(entry, InternalEntry):
             raise IndexError_("internal nodes only accept InternalEntry instances")
         self.entries.append(entry)
+        if self._soa is not None:
+            self._soa.append(entry)
+
+    # ------------------------------------------------------------------
+    # Struct-of-arrays view
+    # ------------------------------------------------------------------
+    def soa(self) -> NodeSoA:
+        """The vectorised view of this node's entries (built lazily, cached).
+
+        A stale view caused by wholesale entry replacement is detected through
+        the row count and the identity of the ``entries`` list (rebinding
+        ``node.entries`` to a new list always rebuilds); in-place MBR
+        refreshes must go through :meth:`refresh_child_mbr` (or
+        :meth:`invalidate_soa`) instead.
+        """
+        if (
+            self._soa is None
+            or self._soa.n != len(self.entries)
+            or self._soa_list_id != id(self.entries)
+        ):
+            self._soa = NodeSoA(self.entries, is_leaf=self.is_leaf)
+            self._soa_list_id = id(self.entries)
+        return self._soa
+
+    def invalidate_soa(self) -> None:
+        """Drop the cached view after a structural rewrite of ``entries``."""
+        self._soa = None
+
+    def refresh_child_mbr(self, entry: InternalEntry) -> None:
+        """Propagate an in-place directory-entry MBR refresh into the view."""
+        if self._soa is not None:
+            self._soa.refresh_box(self.entries.index(entry), entry.mbr)
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -127,6 +127,7 @@ class RTree:
             child_entry = self._choose_subtree(node, entry.mbr)
             split = self._insert_into(child_entry.child, entry)
             child_entry.refresh_mbr()
+            node.refresh_child_mbr(child_entry)
             if split is not None:
                 node.add(InternalEntry(split.compute_mbr(), split))
         if len(node.entries) > self.max_entries:
@@ -180,6 +181,7 @@ class RTree:
                 mbr_b = mbr_b.union(entry.mbr)
 
         node.entries = group_a
+        node.invalidate_soa()
         return RTreeNode(level=node.level, entries=group_b)
 
     @staticmethod

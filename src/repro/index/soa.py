@@ -1,0 +1,286 @@
+"""Struct-of-arrays (SoA) views of R-tree nodes.
+
+The per-entry objects (:class:`~repro.index.entry.LeafEntry` /
+:class:`~repro.index.entry.InternalEntry`) are convenient for tree
+maintenance, but evaluating a bound against every entry of a node one Python
+object at a time dominates the query cost.  :class:`NodeSoA` mirrors a node's
+entries as contiguous ``(n, d)`` arrays so the searchers compute ``MinDist``,
+``MaxDist`` and the approximated alpha-cut MBR ``M_A(alpha)*`` (Equation 2)
+for the whole node in a handful of NumPy calls.
+
+A leaf SoA additionally carries the summary payload of every entry — kernel
+MBRs, conservative-line coefficients and representative kernel points — and
+memoises the Equation-2 reconstruction per threshold in a small LRU cache, so
+repeated queries at the same ``alpha`` (and every query of a batch) share one
+reconstruction per node.
+
+The SoA is maintained incrementally: appending an entry grows the arrays with
+amortised-doubling capacity, and directory-entry MBR refreshes update the
+affected row in place.  Structural rewrites (node splits) invalidate the view,
+which is rebuilt lazily on next access.
+
+The element-wise formulas are kept identical to the scalar paths in
+:mod:`repro.geometry.mbr` and :class:`~repro.fuzzy.summary.FuzzyObjectSummary`
+so vectorized and per-entry evaluation agree to the last bit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_NODE_ALPHA_CACHE_CAPACITY
+from repro.geometry.mbr import MBR
+from repro.index.entry import InternalEntry, LeafEntry
+from repro.storage.cache import LRUCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.index.node import Entry
+
+
+# ----------------------------------------------------------------------
+# Vectorized bound kernels
+# ----------------------------------------------------------------------
+def min_dist_to_boxes(
+    query_lower: np.ndarray,
+    query_upper: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> np.ndarray:
+    """``MinDist`` (Equation 1) between one or more query boxes and ``n`` boxes.
+
+    ``query_lower`` / ``query_upper`` may be ``(d,)`` (one query, result
+    ``(n,)``) or ``(B, d)`` (a batch, result ``(B, n)``); ``lower`` / ``upper``
+    are the ``(n, d)`` box arrays.
+    """
+    gap = np.maximum(
+        0.0,
+        np.maximum(
+            lower - query_upper[..., None, :], query_lower[..., None, :] - upper
+        ),
+    )
+    return np.sqrt(np.einsum("...nd,...nd->...n", gap, gap))
+
+
+def max_dist_to_boxes(
+    query_lower: np.ndarray,
+    query_upper: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> np.ndarray:
+    """``MaxDist`` (Equation 3), with the same broadcasting as :func:`min_dist_to_boxes`."""
+    span = np.maximum(
+        np.abs(upper - query_lower[..., None, :]),
+        np.abs(lower - query_upper[..., None, :]),
+    )
+    return np.sqrt(np.einsum("...nd,...nd->...n", span, span))
+
+
+def rep_to_samples_distances(reps: np.ndarray, samples: np.ndarray) -> np.ndarray:
+    """Lemma 1 upper bounds: ``min_{q in samples} ||rep_i - q||`` per row.
+
+    ``reps`` is ``(n, d)``, ``samples`` is ``(s, d)``; the result is ``(n,)``.
+    """
+    diff = reps[:, None, :] - samples[None, :, :]
+    sq = np.einsum("nsd,nsd->ns", diff, diff)
+    return np.sqrt(sq.min(axis=1))
+
+
+class NodeSoA:
+    """Contiguous arrays mirroring the entries of one R-tree node.
+
+    Attributes are backed by over-allocated buffers; the public accessors
+    return views truncated to the live row count ``n`` so appends stay
+    amortised O(d).
+    """
+
+    __slots__ = (
+        "is_leaf",
+        "dimensions",
+        "_n",
+        "_lo",
+        "_hi",
+        "_kernel_lo",
+        "_kernel_hi",
+        "_up_slope",
+        "_up_icpt",
+        "_lo_slope",
+        "_lo_icpt",
+        "_reps",
+        "_object_ids",
+        "_alpha_cache",
+    )
+
+    def __init__(self, entries: Sequence["Entry"], is_leaf: bool):
+        if not entries:
+            raise ValueError("cannot build a SoA view of an empty node")
+        self.is_leaf = is_leaf
+        self.dimensions = entries[0].mbr.dimensions
+        n = len(entries)
+        capacity = max(4, n)
+        d = self.dimensions
+        self._n = 0
+        self._lo = np.empty((capacity, d))
+        self._hi = np.empty((capacity, d))
+        if is_leaf:
+            self._kernel_lo = np.empty((capacity, d))
+            self._kernel_hi = np.empty((capacity, d))
+            self._up_slope = np.empty((capacity, d))
+            self._up_icpt = np.empty((capacity, d))
+            self._lo_slope = np.empty((capacity, d))
+            self._lo_icpt = np.empty((capacity, d))
+            self._reps = np.empty((capacity, d))
+            self._object_ids = np.empty(capacity, dtype=np.int64)
+        else:
+            self._kernel_lo = self._kernel_hi = None
+            self._up_slope = self._up_icpt = None
+            self._lo_slope = self._lo_icpt = None
+            self._reps = None
+            self._object_ids = None
+        self._alpha_cache: LRUCache[float, Tuple[np.ndarray, np.ndarray]] = LRUCache(
+            DEFAULT_NODE_ALPHA_CACHE_CAPACITY if is_leaf else 0
+        )
+        for entry in entries:
+            self.append(entry)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of live rows (entries mirrored)."""
+        return self._n
+
+    def _grow(self) -> None:
+        capacity = self._lo.shape[0] * 2
+
+        def enlarge(buffer: np.ndarray) -> np.ndarray:
+            grown = np.empty((capacity,) + buffer.shape[1:], dtype=buffer.dtype)
+            grown[: self._n] = buffer[: self._n]
+            return grown
+
+        self._lo = enlarge(self._lo)
+        self._hi = enlarge(self._hi)
+        if self.is_leaf:
+            self._kernel_lo = enlarge(self._kernel_lo)
+            self._kernel_hi = enlarge(self._kernel_hi)
+            self._up_slope = enlarge(self._up_slope)
+            self._up_icpt = enlarge(self._up_icpt)
+            self._lo_slope = enlarge(self._lo_slope)
+            self._lo_icpt = enlarge(self._lo_icpt)
+            self._reps = enlarge(self._reps)
+            self._object_ids = enlarge(self._object_ids)
+
+    def append(self, entry: "Entry") -> None:
+        """Mirror one appended entry (amortised-doubling growth)."""
+        if self._n == self._lo.shape[0]:
+            self._grow()
+        i = self._n
+        mbr = entry.mbr
+        self._lo[i] = mbr.lower
+        self._hi[i] = mbr.upper
+        if self.is_leaf:
+            if not isinstance(entry, LeafEntry):  # pragma: no cover - guarded upstream
+                raise TypeError("leaf SoA only accepts LeafEntry rows")
+            summary = entry.summary
+            self._kernel_lo[i] = summary.kernel_mbr.lower
+            self._kernel_hi[i] = summary.kernel_mbr.upper
+            for dim in range(self.dimensions):
+                self._up_slope[i, dim] = summary.upper_lines[dim].slope
+                self._up_icpt[i, dim] = summary.upper_lines[dim].intercept
+                self._lo_slope[i, dim] = summary.lower_lines[dim].slope
+                self._lo_icpt[i, dim] = summary.lower_lines[dim].intercept
+            self._reps[i] = summary.representative
+            self._object_ids[i] = summary.object_id
+        elif not isinstance(entry, InternalEntry):  # pragma: no cover
+            raise TypeError("internal SoA only accepts InternalEntry rows")
+        self._n = i + 1
+        self._alpha_cache.clear()
+
+    def refresh_box(self, index: int, mbr: MBR) -> None:
+        """Update one row's MBR in place after a directory-entry refresh."""
+        self._lo[index] = mbr.lower
+        self._hi[index] = mbr.upper
+        self._alpha_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Array views
+    # ------------------------------------------------------------------
+    @property
+    def lo(self) -> np.ndarray:
+        """``(n, d)`` lower bounds of the entry MBRs."""
+        return self._lo[: self._n]
+
+    @property
+    def hi(self) -> np.ndarray:
+        """``(n, d)`` upper bounds of the entry MBRs."""
+        return self._hi[: self._n]
+
+    @property
+    def reps(self) -> np.ndarray:
+        """``(n, d)`` representative kernel points (leaf SoA only)."""
+        return self._reps[: self._n]
+
+    @property
+    def object_ids(self) -> np.ndarray:
+        """``(n,)`` object ids (leaf SoA only)."""
+        return self._object_ids[: self._n]
+
+    # ------------------------------------------------------------------
+    # Vectorized bounds
+    # ------------------------------------------------------------------
+    def approx_alpha_bounds(self, alpha: float) -> Tuple[np.ndarray, np.ndarray]:
+        """``M_A(alpha)*`` (Equation 2) for every leaf entry, memoised per alpha.
+
+        Returns ``(lower, upper)`` arrays of shape ``(n, d)``; element-wise the
+        computation matches
+        :meth:`repro.fuzzy.summary.FuzzyObjectSummary.approx_alpha_mbr`.
+        """
+        if not self.is_leaf:
+            raise TypeError("approx_alpha_bounds requires a leaf SoA")
+        alpha = float(alpha)
+        cached = self._alpha_cache.get(alpha)
+        if cached is not None:
+            return cached
+        n = self._n
+        delta_up = np.maximum(0.0, self._up_slope[:n] * alpha + self._up_icpt[:n])
+        delta_lo = np.maximum(0.0, self._lo_slope[:n] * alpha + self._lo_icpt[:n])
+        upper = np.minimum(self._kernel_hi[:n] + delta_up, self._hi[:n])
+        lower = np.maximum(self._kernel_lo[:n] - delta_lo, self._lo[:n])
+        # Numerical safety, as in the scalar path: collapse inverted intervals
+        # onto their midpoint so the approximation stays a valid box.
+        inverted = lower > upper
+        if inverted.any():
+            mid = (lower + upper) / 2.0
+            lower = np.where(inverted, mid, lower)
+            upper = np.where(inverted, mid, upper)
+        result = (lower, upper)
+        self._alpha_cache.put(alpha, result)
+        return result
+
+    def min_dist(self, query_lower: np.ndarray, query_upper: np.ndarray) -> np.ndarray:
+        """``MinDist`` from the query box(es) to every entry MBR."""
+        return min_dist_to_boxes(query_lower, query_upper, self.lo, self.hi)
+
+    def improved_min_dist(
+        self, alpha: float, query_lower: np.ndarray, query_upper: np.ndarray
+    ) -> np.ndarray:
+        """``d-_alpha`` (Section 3.2): MinDist against ``M_A(alpha)*`` per entry."""
+        lower, upper = self.approx_alpha_bounds(alpha)
+        return min_dist_to_boxes(query_lower, query_upper, lower, upper)
+
+    def max_dist(
+        self, alpha: float, query_lower: np.ndarray, query_upper: np.ndarray
+    ) -> np.ndarray:
+        """``MaxDist(M_A(alpha)*, M_Q(alpha))`` per entry (lazy-probe upper bound)."""
+        lower, upper = self.approx_alpha_bounds(alpha)
+        return max_dist_to_boxes(query_lower, query_upper, lower, upper)
+
+    def rep_upper_bounds(self, query_samples: np.ndarray) -> np.ndarray:
+        """Lemma 1 upper bounds from the stored representatives to ``Q'_alpha``."""
+        return rep_to_samples_distances(self.reps, query_samples)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"NodeSoA({kind}, n={self._n}, d={self.dimensions})"

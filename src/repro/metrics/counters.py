@@ -25,6 +25,11 @@ class MetricsCollector:
     AKNN_CALLS = "aknn_calls"
     RANGE_CALLS = "range_calls"
     REFINEMENT_STEPS = "refinement_steps"
+    # Cache and batch-executor accounting.
+    CACHE_HITS = "cache_hits"
+    CACHE_MISSES = "cache_misses"
+    BATCH_QUERIES = "batch_queries"
+    NODES_PRUNED = "nodes_pruned"
 
     def __init__(self) -> None:
         self._counts: Dict[str, int] = defaultdict(int)

@@ -74,10 +74,19 @@ class ObjectStore:
         Number of decoded objects kept in an LRU buffer pool.  ``0`` (the
         default) disables the pool so every access is a physical read, which
         matches the paper's accounting.
+    cut_cache_capacity:
+        When given, every decoded object's per-object alpha-cut LRU cache is
+        resized to this capacity (``None`` keeps the library default).
     """
 
-    def __init__(self, path: Optional[os.PathLike | str] = None, cache_capacity: int = 0):
+    def __init__(
+        self,
+        path: Optional[os.PathLike | str] = None,
+        cache_capacity: int = 0,
+        cut_cache_capacity: Optional[int] = None,
+    ):
         self._path = Path(path) if path is not None else None
+        self._cut_cache_capacity = cut_cache_capacity
         self._slots: Dict[int, _Slot] = {}
         self._memory: Dict[int, bytes] = {}
         self._cache: LRUCache[int, FuzzyObject] = LRUCache(cache_capacity)
@@ -167,6 +176,8 @@ class ObjectStore:
         obj = decode_object(payload)
         if obj.object_id is None:
             obj = obj.with_id(object_id)
+        if self._cut_cache_capacity is not None:
+            obj.set_cut_cache_capacity(self._cut_cache_capacity)
         self._cache.put(object_id, obj)
         return obj
 
@@ -245,9 +256,14 @@ class ObjectStore:
         path: os.PathLike | str,
         slot_table: Dict[int, Tuple[int, int]],
         cache_capacity: int = 0,
+        cut_cache_capacity: Optional[int] = None,
     ) -> "ObjectStore":
         """Attach to a previously written data file using its slot table."""
-        store = cls(path=path, cache_capacity=cache_capacity)
+        store = cls(
+            path=path,
+            cache_capacity=cache_capacity,
+            cut_cache_capacity=cut_cache_capacity,
+        )
         store._slots = {
             int(oid): _Slot(offset=int(off), length=int(length))
             for oid, (off, length) in slot_table.items()

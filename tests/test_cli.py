@@ -82,3 +82,44 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "RKNN(k=2" in output
         assert "qualifying" in output
+
+
+class TestBatchCommand:
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.n_queries == 64
+        assert args.method == "lb_lp_ub"
+        assert args.workers is None
+        assert not args.stats
+
+    def test_batch_on_generated_database(self, capsys):
+        exit_code = main(
+            ["batch", "--n-objects", "30", "--points-per-object", "12", "--k", "3",
+             "--n-queries", "5", "--space-size", "5"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "BATCH AKNN(5 queries" in output
+        assert "queries/sec" in output
+
+    def test_stats_flag_dumps_cache_telemetry(self, capsys):
+        exit_code = main(
+            ["batch", "--n-objects", "30", "--points-per-object", "12", "--k", "3",
+             "--n-queries", "4", "--space-size", "5", "--stats"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "counters:" in output
+        assert "alpha-cut cache:" in output
+        assert "store cache:" in output
+        assert "throughput_qps" in output
+
+    def test_aknn_stats_flag(self, capsys):
+        exit_code = main(
+            ["aknn", "--n-objects", "25", "--points-per-object", "12", "--k", "2",
+             "--space-size", "5", "--stats"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "counters:" in output
+        assert "lower_bound_evaluations" in output

@@ -1,0 +1,145 @@
+"""Tests for the vectorized batch query executor.
+
+The load-bearing property is *parity*: ``Database.aknn_batch`` must return
+exactly the same neighbour sets as looping the single-query ``Database.aknn``
+over the batch, for every AKNN method variant, with exact distances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.aknn import AKNN_METHODS
+from repro.datasets.builder import DatasetBundle
+from repro.exceptions import InvalidQueryError
+from repro.fuzzy.alpha_distance import alpha_distance
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return DatasetBundle.create(
+        n_objects=250,
+        points_per_object=24,
+        seed=17,
+        config=RuntimeConfig(rtree_max_entries=8, cache_capacity=64),
+    )
+
+
+@pytest.fixture(scope="module")
+def queries(bundle):
+    return bundle.queries(12)
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("method", AKNN_METHODS)
+    def test_neighbor_sets_match_single_query_path(self, bundle, queries, method):
+        database = bundle.database
+        batch = database.aknn_batch(queries, k=7, alpha=0.5, method=method)
+        assert len(batch) == len(queries)
+        for query, result in zip(queries, batch.results):
+            single = database.aknn(query, k=7, alpha=0.5, method=method)
+            assert set(result.object_ids) == set(single.object_ids)
+
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 0.85])
+    @pytest.mark.parametrize("k", [1, 5, 15])
+    def test_parity_across_k_and_alpha(self, bundle, queries, k, alpha):
+        database = bundle.database
+        batch = database.aknn_batch(queries[:6], k=k, alpha=alpha)
+        for query, result in zip(queries, batch.results):
+            single = database.aknn(query, k=k, alpha=alpha)
+            assert set(result.object_ids) == set(single.object_ids)
+
+    def test_distances_are_exact(self, bundle, queries):
+        database = bundle.database
+        batch = database.aknn_batch(queries[:3], k=5, alpha=0.5)
+        for query, result in zip(queries, batch.results):
+            for neighbor in result.neighbors:
+                assert neighbor.probed
+                obj = database.get_object(neighbor.object_id)
+                expected = alpha_distance(obj, query, 0.5)
+                assert neighbor.distance == pytest.approx(expected, abs=1e-9)
+
+    def test_matches_linear_scan_ground_truth(self, bundle, queries):
+        database = bundle.database
+        batch = database.aknn_batch(queries[:4], k=6, alpha=0.6)
+        for query, result in zip(queries, batch.results):
+            truth = database.linear_scan().aknn(query, k=6, alpha=0.6)
+            assert set(result.object_ids) == set(truth.object_ids)
+
+    def test_workers_do_not_change_results(self, bundle, queries):
+        database = bundle.database
+        serial = database.aknn_batch(queries, k=5, alpha=0.5, workers=0)
+        threaded = database.aknn_batch(queries, k=5, alpha=0.5, workers=4)
+        for a, b in zip(serial.results, threaded.results):
+            assert a.object_ids == b.object_ids
+
+    def test_repeated_batches_are_stable(self, bundle, queries):
+        """The cached representative index must not drift across calls."""
+        database = bundle.database
+        first = database.aknn_batch(queries[:5], k=4, alpha=0.5)
+        second = database.aknn_batch(queries[:5], k=4, alpha=0.5)
+        for a, b in zip(first.results, second.results):
+            assert a.object_ids == b.object_ids
+
+
+class TestBatchEdgeCases:
+    def test_k_larger_than_database_returns_everything(self, bundle, queries):
+        database = bundle.database
+        batch = database.aknn_batch(queries[:2], k=len(database) + 10, alpha=0.5)
+        for result in batch.results:
+            assert len(result) == len(database)
+
+    def test_empty_batch(self, bundle):
+        batch = bundle.database.aknn_batch([], k=3, alpha=0.5)
+        assert len(batch) == 0
+        assert batch.stats.extra["batch_queries"] == 0.0
+
+    def test_invalid_k_rejected(self, bundle, queries):
+        with pytest.raises(InvalidQueryError):
+            bundle.database.aknn_batch(queries[:1], k=0, alpha=0.5)
+
+    def test_invalid_method_rejected(self, bundle, queries):
+        with pytest.raises(InvalidQueryError):
+            bundle.database.aknn_batch(queries[:1], k=3, alpha=0.5, method="nope")
+
+    def test_invalid_alpha_rejected(self, bundle, queries):
+        with pytest.raises(InvalidQueryError):
+            bundle.database.aknn_batch(queries[:1], k=3, alpha=0.0)
+
+
+class TestBatchStats:
+    def test_aggregate_stats_shape(self, bundle, queries):
+        database = bundle.database
+        batch = database.aknn_batch(queries, k=5, alpha=0.5)
+        stats = batch.stats
+        assert stats.aknn_calls == len(queries)
+        assert stats.extra["batch_queries"] == float(len(queries))
+        assert stats.node_accesses >= 1
+        assert stats.distance_evaluations > 0
+        assert stats.elapsed_seconds > 0
+        assert batch.throughput_qps > 0
+        assert stats.extra["throughput_qps"] == pytest.approx(batch.throughput_qps)
+
+    def test_shared_traversal_visits_nodes_once(self, bundle, queries):
+        """Batch node accesses must undercut the summed single-query visits."""
+        database = bundle.database
+        batch = database.aknn_batch(queries, k=5, alpha=0.5)
+        total_nodes = database.tree.node_count()
+        assert batch.stats.node_accesses <= total_nodes
+
+    def test_objects_fetched_once_per_batch(self, bundle, queries):
+        database = bundle.database
+        before = database.store.statistics.snapshot()
+        batch = database.aknn_batch(queries, k=5, alpha=0.5)
+        accesses = database.store.statistics.object_accesses - before.object_accesses
+        distinct_neighbors = {
+            oid for result in batch.results for oid in result.object_ids
+        }
+        assert accesses <= len(database)
+        assert len(distinct_neighbors) <= accesses
+
+    def test_per_query_results_carry_distance_counts(self, bundle, queries):
+        batch = bundle.database.aknn_batch(queries[:3], k=4, alpha=0.5)
+        for result in batch.results:
+            assert result.stats.aknn_calls == 1
+            assert result.stats.distance_evaluations >= 0
