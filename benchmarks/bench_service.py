@@ -1,0 +1,251 @@
+"""Benchmark: sharded coalescing query service vs. the unsharded query loop.
+
+Closed-loop serving benchmark for the service subsystem.  The baseline is
+the single-shard, single-threaded loop — one ``Database.aknn`` call per
+request, the way a naive server would answer traffic.  The service side
+partitions the same dataset across ``--shards`` shards and serves the same
+request stream through :class:`~repro.service.QueryService`: requests are
+submitted in waves of ``--wave`` concurrent outstanding futures (the bounded
+admission queue is the backpressure), coalesced per ``(k, alpha, method)``
+bucket and flushed through the globally-bootstrapped shard fan-out.
+
+Reported per side: sustained queries/sec over the whole run and, for the
+service, p50/p99 end-to-end request latency (submit to future resolution).
+Results land in ``BENCH_service.json`` next to this file so the serving
+trajectory is tracked from PR to PR.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+
+The default configuration warms every caching layer (store buffer pools,
+alpha-cut caches, representative indexes) before measuring, so both sides
+run steady-state — the regime a long-lived service lives in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy
+
+from repro.config import RuntimeConfig
+from repro.datasets.builder import DatasetBundle
+from repro.service import QueryService, ShardedDatabase
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_service.json"
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-objects", type=int, default=10_000)
+    parser.add_argument("--points-per-object", type=int, default=40)
+    parser.add_argument("--n-requests", type=int, default=512)
+    parser.add_argument("--query-pool", type=int, default=64)
+    parser.add_argument("--k", type=int, default=20)
+    parser.add_argument("--alpha", type=float, default=0.5)
+    parser.add_argument("--method", default="lb_lp_ub")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--placement", choices=("hash", "space"), default="hash")
+    # The serving default (RuntimeConfig) leans latency at 2 ms; the
+    # benchmark leans throughput, letting buckets fill to max_batch.
+    parser.add_argument("--window-ms", type=float, default=8.0)
+    parser.add_argument("--max-batch", type=int, default=128)
+    parser.add_argument("--wave", type=int, default=256,
+                        help="outstanding requests per submission wave")
+    parser.add_argument("--cache-capacity", type=int, default=4096)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny configuration for smoke-testing the harness",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="exit non-zero when the measured speedup falls below this factor",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=BASELINE_PATH,
+        help="where to write the JSON baseline (default: benchmarks/BENCH_service.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n_objects = 400
+        args.points_per_object = 16
+        args.n_requests = 64
+        args.query_pool = 16
+        args.k = 5
+        args.shards = 2
+        args.wave = 32
+        args.repeats = 1
+    return args
+
+
+def run_loop_baseline(database, queries, args) -> float:
+    """One pass of the unsharded single-query loop; returns elapsed seconds."""
+    t0 = time.perf_counter()
+    for index in range(args.n_requests):
+        database.aknn(
+            queries[index % len(queries)], k=args.k, alpha=args.alpha,
+            method=args.method,
+        )
+    return time.perf_counter() - t0
+
+
+def run_service_pass(service, queries, args):
+    """One closed-loop pass through the service; returns elapsed seconds."""
+    done = 0
+    t0 = time.perf_counter()
+    while done < args.n_requests:
+        wave = min(args.wave, args.n_requests - done)
+        futures = [
+            service.submit(
+                queries[(done + i) % len(queries)], k=args.k, alpha=args.alpha,
+                method=args.method,
+            )
+            for i in range(wave)
+        ]
+        for future in futures:
+            future.result(timeout=600)
+        done += wave
+    return time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    config = RuntimeConfig(
+        cache_capacity=args.cache_capacity,
+        coalesce_window_ms=args.window_ms,
+        coalesce_max_batch=args.max_batch,
+        service_shards=args.shards,
+        shard_placement=args.placement,
+    )
+    print(
+        f"building synthetic dataset: n={args.n_objects}, "
+        f"points/object={args.points_per_object} ...",
+        flush=True,
+    )
+    t0 = time.perf_counter()
+    bundle = DatasetBundle.create(
+        n_objects=args.n_objects,
+        points_per_object=args.points_per_object,
+        seed=args.seed,
+        config=config,
+    )
+    database = bundle.database
+    queries = bundle.queries(args.query_pool)
+    objects = list(database.store.iter_objects(count_accesses=False))
+    sharded = ShardedDatabase.build(
+        objects, n_shards=args.shards, placement=args.placement, config=config
+    )
+    print(
+        f"build took {time.perf_counter() - t0:.1f}s "
+        f"(shard sizes {sharded.shard_sizes()})"
+    )
+
+    # Warm every caching layer on both sides so the comparison is
+    # steady-state serving, not first-touch costs.
+    for query in queries:
+        database.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
+    sharded.aknn_batch(queries, k=args.k, alpha=args.alpha, method=args.method)
+
+    # Parity guard: the service path must answer exactly like the loop.
+    check = sharded.aknn_batch(queries, k=args.k, alpha=args.alpha, method=args.method)
+    for query, result in zip(queries, check.results):
+        single = database.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
+        assert set(single.object_ids) == set(result.object_ids), (
+            "sharded service diverged from the single-tree path"
+        )
+
+    loop_seconds = np.inf
+    service_seconds = np.inf
+    service_stats = None
+    # Alternate the two sides so ambient machine noise hits both equally.
+    for _ in range(args.repeats):
+        loop_seconds = min(loop_seconds, run_loop_baseline(database, queries, args))
+        with QueryService(sharded) as service:
+            for query in queries[:8]:  # re-warm the flusher thread
+                service.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
+            service_seconds = min(
+                service_seconds, run_service_pass(service, queries, args)
+            )
+            service_stats = service.stats()
+
+    loop_qps = args.n_requests / loop_seconds
+    service_qps = args.n_requests / service_seconds
+    speedup = service_qps / loop_qps
+    print(f"\nloop    : {loop_qps:8.1f} queries/sec ({loop_seconds:.2f}s)")
+    print(
+        f"service : {service_qps:8.1f} queries/sec sustained "
+        f"({service_seconds:.2f}s, {args.shards} shards + coalescing)"
+    )
+    print(
+        f"latency : p50 {service_stats.p50_latency_ms:.1f} ms, "
+        f"p99 {service_stats.p99_latency_ms:.1f} ms "
+        f"(mean batch {service_stats.mean_batch_size:.1f})"
+    )
+    print(f"speedup : {speedup:.2f}x sustained QPS (identical results)")
+
+    baseline = {
+        "benchmark": "bench_service",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "params": {
+            "n_objects": args.n_objects,
+            "points_per_object": args.points_per_object,
+            "n_requests": args.n_requests,
+            "query_pool": args.query_pool,
+            "k": args.k,
+            "alpha": args.alpha,
+            "method": args.method,
+            "shards": args.shards,
+            "placement": args.placement,
+            "window_ms": args.window_ms,
+            "max_batch": args.max_batch,
+            "wave": args.wave,
+            "cache_capacity": args.cache_capacity,
+            "repeats": args.repeats,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "machine": platform.machine(),
+        },
+        "loop_seconds": loop_seconds,
+        "loop_qps": loop_qps,
+        "service_seconds": service_seconds,
+        "service_qps": service_qps,
+        "speedup": speedup,
+        "latency_ms": {
+            "p50": service_stats.p50_latency_ms,
+            "p99": service_stats.p99_latency_ms,
+            "mean": service_stats.mean_latency_ms,
+        },
+        "service_stats": {
+            "batches_flushed": service_stats.batches_flushed,
+            "mean_batch_size": service_stats.mean_batch_size,
+            "max_batch_size": service_stats.max_batch_size,
+            "requests_shed": service_stats.requests_shed,
+            "shard_sizes": sharded.shard_sizes(),
+        },
+    }
+    args.output.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
+    print(f"baseline written to {args.output}")
+    sharded.close()
+    database.close()
+
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below required {args.min_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,8 @@ from repro.exceptions import (
     ObjectNotFoundError,
     ReproError,
     SerializationError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
     StorageError,
 )
 from repro.fuzzy import (
@@ -64,8 +66,9 @@ from repro.core import (
     RangeSearchResult,
 )
 from repro.analysis import AccessCostModel
+from repro.service import QueryService, ServiceStats, ShardedDatabase
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -81,6 +84,8 @@ __all__ = [
     "StorageError",
     "ObjectNotFoundError",
     "SerializationError",
+    "ServiceOverloadedError",
+    "ServiceStoppedError",
     # Fuzzy object model
     "FuzzyObject",
     "FuzzyObjectSummary",
@@ -114,6 +119,10 @@ __all__ = [
     "JoinResult",
     "ReverseAKNNSearcher",
     "ReverseKNNResult",
+    # Serving
+    "ShardedDatabase",
+    "QueryService",
+    "ServiceStats",
     # Analysis
     "AccessCostModel",
 ]

@@ -15,6 +15,12 @@ runnable as ``python -m repro.cli``.  Subcommands:
     Run a batch of AKNN queries through the vectorized batch executor and
     report the aggregate cost plus throughput (queries/sec).
 
+``serve``
+    Stand up the sharded query service (partitioned indexes + request
+    coalescing) and drive it closed-loop with concurrent clients, reporting
+    sustained queries/sec and p50/p99 latency.  ``--update-ops`` mixes live
+    inserts/deletes into the run to exercise the epoch machinery.
+
 ``experiment``
     Reproduce one of the paper's figures and print the corresponding tables.
 
@@ -98,6 +104,59 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--workers", type=int, default=None,
         help="thread-pool size for the refinement phase (default: config)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the sharded query service closed-loop and report QPS + latency",
+        description=(
+            "Partition the dataset across --shards independent indexes, start "
+            "the coalescing QueryService in front of them, and drive it with "
+            "--clients concurrent threads submitting --n-requests AKNN "
+            "requests.  Tuning guide: shard count should not exceed physical "
+            "cores (fan-out runs one thread per shard); a larger "
+            "--window-ms coalesces more aggressively (higher throughput, "
+            "higher p50), a smaller one favours latency.  See the ROADMAP's "
+            "'Serving architecture' section for details."
+        ),
+    )
+    _add_query_arguments(serve)
+    serve.add_argument("--alpha", type=float, default=0.5)
+    serve.add_argument(
+        "--method", choices=("basic", "lb", "lb_lp", "lb_lp_ub"), default="lb_lp_ub"
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4, help="number of index partitions"
+    )
+    serve.add_argument(
+        "--placement", choices=("hash", "space"), default="hash",
+        help="shard placement policy (hash: uniform; space: axis stripes)",
+    )
+    serve.add_argument(
+        "--n-requests", type=int, default=256, help="total requests to serve"
+    )
+    serve.add_argument(
+        "--clients", type=int, default=4, help="concurrent client threads"
+    )
+    serve.add_argument(
+        "--query-pool", type=int, default=64,
+        help="number of distinct query objects the clients draw from",
+    )
+    serve.add_argument(
+        "--window-ms", type=float, default=2.0,
+        help="coalescer window: max milliseconds a request waits for companions",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="bucket size that triggers an immediate flush",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=1024,
+        help="admission-control bound on waiting requests",
+    )
+    serve.add_argument(
+        "--update-ops", type=int, default=0,
+        help="live insert+delete pairs applied concurrently with the run",
     )
 
     experiment = subparsers.add_parser("experiment", help="reproduce one paper figure")
@@ -235,6 +294,122 @@ def _command_rknn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import threading
+    import time
+
+    from repro.config import RuntimeConfig
+    from repro.exceptions import ServiceOverloadedError
+    from repro.service import QueryService, ShardedDatabase
+
+    if args.database:
+        source = FuzzyDatabase.open(args.database)
+        objects = list(source.store.iter_objects(count_accesses=False))
+        source.close()
+    else:
+        from repro.datasets.builder import build_dataset
+
+        objects = build_dataset(
+            kind=args.kind,
+            n_objects=args.n_objects,
+            points_per_object=args.points_per_object,
+            seed=args.seed,
+            space_size=args.space_size,
+        )
+    config = RuntimeConfig(
+        service_shards=args.shards,
+        shard_placement=args.placement,
+        coalesce_window_ms=args.window_ms,
+        coalesce_max_batch=args.max_batch,
+        service_queue_depth=args.queue_depth,
+        cache_capacity=4096,
+    )
+    database = ShardedDatabase.build(objects, config=config)
+    print(
+        f"serving {len(database)} objects over {database.n_shards} shards "
+        f"({args.placement} placement, sizes {database.shard_sizes()})"
+    )
+
+    rng = np.random.default_rng(args.query_seed)
+    pool = [
+        generate_query_object(
+            rng, kind=args.kind, space_size=args.space_size,
+            points_per_object=args.points_per_object,
+        )
+        for _ in range(args.query_pool)
+    ]
+    completed_per_client = [0] * args.clients
+
+    def client(client_index: int, n_requests: int) -> None:
+        for i in range(n_requests):
+            query = pool[(client_index + i * args.clients) % len(pool)]
+            try:
+                service.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
+            except ServiceOverloadedError:
+                continue  # shed by admission control; reported via stats
+            completed_per_client[client_index] += 1
+
+    def mutator(n_ops: int) -> None:
+        update_rng = np.random.default_rng(args.seed + 12345)
+        for _ in range(n_ops):
+            obj = generate_query_object(
+                update_rng, kind=args.kind, space_size=args.space_size,
+                points_per_object=args.points_per_object,
+            )
+            object_id = service.insert(obj)
+            service.delete(object_id)
+
+    with QueryService(database) as service:
+        # Warm caches and the shard pool before the measured phase.
+        for query in pool[: min(8, len(pool))]:
+            service.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
+
+        per_client = max(1, args.n_requests // args.clients)
+        threads = [
+            threading.Thread(target=client, args=(index, per_client))
+            for index in range(args.clients)
+        ]
+        if args.update_ops:
+            threads.append(threading.Thread(target=mutator, args=(args.update_ops,)))
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - t0
+        stats = service.stats()
+
+    attempted = per_client * args.clients
+    served = sum(completed_per_client)
+    print(
+        f"SERVE({attempted} requests, {args.clients} clients, k={args.k}, "
+        f"alpha={args.alpha}, method={args.method})"
+    )
+    print(
+        f"throughput: {served / elapsed:.1f} queries/sec sustained "
+        f"({served}/{attempted} answered, {elapsed:.2f}s wall)"
+    )
+    print(
+        f"latency: p50 {stats.p50_latency_ms:.2f} ms, "
+        f"p99 {stats.p99_latency_ms:.2f} ms, mean {stats.mean_latency_ms:.2f} ms"
+    )
+    print(
+        f"coalescing: {stats.batches_flushed} batches, "
+        f"mean size {stats.mean_batch_size:.1f}, max {stats.max_batch_size}, "
+        f"{stats.requests_shed} shed"
+    )
+    if args.update_ops:
+        print(f"live updates: {args.update_ops} insert+delete pairs, epoch {database.epoch}")
+    if args.stats:
+        print("counters:")
+        for name, value in sorted(stats.as_dict().items()):
+            print(f"  {name}: {value}")
+        for name, value in sorted(database.metrics.as_dict().items()):
+            print(f"  shards.{name}: {value}")
+    database.close()
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     config = scale_for_name(args.scale)
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
@@ -254,6 +429,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "aknn": _command_aknn,
         "rknn": _command_rknn,
         "batch": _command_batch,
+        "serve": _command_serve,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

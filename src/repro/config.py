@@ -35,6 +35,15 @@ DEFAULT_ALPHA_CUT_CACHE_CAPACITY = 8
 # pair); 0 disables the store.
 DEFAULT_PROFILE_CACHE_CAPACITY = 256
 
+# Defaults of the sharded query service (see repro.service).  Shard count 0
+# means "one shard", i.e. no partitioning; the coalescer window is the
+# maximum time a request waits for companions before its bucket is flushed.
+DEFAULT_SERVICE_SHARDS = 4
+DEFAULT_SHARD_PLACEMENT = "hash"
+DEFAULT_COALESCE_WINDOW_MS = 2.0
+DEFAULT_COALESCE_MAX_BATCH = 64
+DEFAULT_SERVICE_QUEUE_DEPTH = 1024
+
 # The small epsilon used by the basic RKNN sweep (Algorithm 3) to step just
 # beyond a critical probability.  The exact sweep used in this implementation
 # steps to the next membership level instead, but the value is retained for
@@ -86,6 +95,18 @@ class RuntimeConfig:
     batch_workers:
         Default worker-thread count of the batch query executor.  ``0`` (and
         ``1``) evaluate the batch on the calling thread.
+    service_shards:
+        Default shard count of :class:`~repro.service.ShardedDatabase`.
+    shard_placement:
+        Default placement policy name (``"hash"`` or ``"space"``).
+    coalesce_window_ms:
+        Maximum milliseconds a request may wait in a coalescer bucket before
+        the bucket is flushed through the batch executor.
+    coalesce_max_batch:
+        Bucket size that triggers an immediate flush.
+    service_queue_depth:
+        Maximum requests pending across all buckets; submissions beyond it
+        are shed with :class:`~repro.exceptions.ServiceOverloadedError`.
     """
 
     upper_bound_samples: int = DEFAULT_UPPER_BOUND_SAMPLES
@@ -96,6 +117,11 @@ class RuntimeConfig:
     alpha_cut_cache_capacity: int = DEFAULT_ALPHA_CUT_CACHE_CAPACITY
     profile_cache_capacity: int = DEFAULT_PROFILE_CACHE_CAPACITY
     batch_workers: int = 0
+    service_shards: int = DEFAULT_SERVICE_SHARDS
+    shard_placement: str = DEFAULT_SHARD_PLACEMENT
+    coalesce_window_ms: float = DEFAULT_COALESCE_WINDOW_MS
+    coalesce_max_batch: int = DEFAULT_COALESCE_MAX_BATCH
+    service_queue_depth: int = DEFAULT_SERVICE_QUEUE_DEPTH
     extra: dict = field(default_factory=dict)
 
     def validate(self) -> "RuntimeConfig":
@@ -114,6 +140,18 @@ class RuntimeConfig:
             raise ValueError("profile_cache_capacity must be >= 0")
         if self.batch_workers < 0:
             raise ValueError("batch_workers must be >= 0")
+        if self.service_shards < 1:
+            raise ValueError("service_shards must be >= 1")
+        if self.shard_placement not in ("hash", "space"):
+            raise ValueError(
+                f"shard_placement must be 'hash' or 'space', got {self.shard_placement!r}"
+            )
+        if self.coalesce_window_ms < 0.0:
+            raise ValueError("coalesce_window_ms must be >= 0")
+        if self.coalesce_max_batch < 1:
+            raise ValueError("coalesce_max_batch must be >= 1")
+        if self.service_queue_depth < 1:
+            raise ValueError("service_queue_depth must be >= 1")
         return self
 
 

@@ -31,7 +31,7 @@ from repro.core.linear_scan import LinearScanSearcher
 from repro.core.range_search import AlphaRangeSearcher
 from repro.core.results import AKNNResult, BatchResult, RangeSearchResult, RKNNResult
 from repro.core.rknn import RKNNSearcher
-from repro.exceptions import StorageError
+from repro.exceptions import ObjectNotFoundError, StorageError
 from repro.fuzzy.fuzzy_object import FuzzyObject
 from repro.fuzzy.summary import FuzzyObjectSummary, build_summary
 from repro.index.rtree import RTree
@@ -160,6 +160,8 @@ class FuzzyDatabase:
         method: str = "lb_lp_ub",
         workers: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        initial_tau=None,
+        initial_exact=None,
     ) -> BatchResult:
         """Answer a batch of AKNN queries through the vectorized executor.
 
@@ -170,9 +172,13 @@ class FuzzyDatabase:
         ties: when several objects sit at exactly the k-th distance, any of
         the equally-correct k-sets may be returned (the batch engine breaks
         ties by object id, the single-query searchers by traversal order).
+        ``initial_tau`` forwards externally-bootstrapped per-query pruning
+        radii to the executor (used by the sharded fan-out; see
+        :meth:`BatchQueryExecutor.aknn_batch`).
         """
         return self._executor.aknn_batch(
-            list(queries), k, alpha, method=method, workers=workers, rng=rng
+            list(queries), k, alpha, method=method, workers=workers, rng=rng,
+            initial_tau=initial_tau, initial_exact=initial_exact,
         )
 
     def rknn(
@@ -231,6 +237,45 @@ class FuzzyDatabase:
             config=self.config,
         )
         return join.join(alpha, epsilon, method=method)
+
+    # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        obj: FuzzyObject,
+        rng: Optional[np.random.Generator] = None,
+    ) -> int:
+        """Add one object to the running database; returns its object id.
+
+        The object is appended to the store, summarised, and inserted into
+        the R-tree (Guttman insertion with quadratic splits).  The next query
+        sees it immediately; derived caches (the batch executor's
+        representative index, node SoA views) refresh themselves through the
+        tree's mutation counter and incremental SoA maintenance.
+        """
+        object_id = self.store.put(obj)
+        if obj.object_id is None:
+            obj = obj.with_id(object_id)
+        summary = build_summary(obj, rng=rng)
+        self.summaries[object_id] = summary
+        self.tree.insert(summary)
+        return object_id
+
+    def delete(self, object_id: int) -> None:
+        """Remove one object from the running database.
+
+        The R-tree entry is deleted (condense-tree with orphan reinsertion),
+        the summary dropped, and the store slot released.  Deleted ids are
+        never reassigned, so per-id caches cannot alias a later insert.
+        """
+        object_id = int(object_id)
+        summary = self.summaries.get(object_id)
+        if summary is None:
+            raise ObjectNotFoundError(f"object {object_id} is not in the database")
+        self.tree.delete(object_id, mbr=summary.support_mbr)
+        del self.summaries[object_id]
+        self.store.delete(object_id)
 
     def linear_scan(self) -> LinearScanSearcher:
         """The exhaustive baseline searcher (ground truth for tests)."""
@@ -301,6 +346,7 @@ class FuzzyDatabase:
             "slots": {
                 str(oid): list(slot) for oid, slot in self.store.slot_table().items()
             },
+            "id_watermark": self.store.id_watermark,
             "summaries": [summary.to_dict() for summary in self.summaries.values()],
         }
         catalog_path = directory / _CATALOG_FILE
@@ -344,6 +390,7 @@ class FuzzyDatabase:
             slot_table,
             cache_capacity=config.cache_capacity,
             cut_cache_capacity=config.alpha_cut_cache_capacity,
+            id_watermark=int(catalog.get("id_watermark", 0)),
         )
         summaries = {
             int(payload["object_id"]): FuzzyObjectSummary.from_dict(payload)

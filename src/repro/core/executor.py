@@ -118,9 +118,10 @@ class BatchQueryExecutor:
         self.store = store
         self.tree = tree
         self.config = (config or RuntimeConfig()).validate()
-        # (tree size, KD-tree over representatives, aligned object ids);
-        # rebuilt lazily whenever the indexed object count changes.
-        self._rep_index: Optional[Tuple[int, object, np.ndarray]] = None
+        # ((tree size, tree mutations), KD-tree over representatives, aligned
+        # object ids); rebuilt lazily whenever the indexed set changes — the
+        # mutation counter catches insert/delete pairs that keep the size.
+        self._rep_index: Optional[Tuple[Tuple[int, int], object, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -133,6 +134,8 @@ class BatchQueryExecutor:
         method: str = "lb_lp_ub",
         workers: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        initial_tau: Optional[np.ndarray] = None,
+        initial_exact: Optional[Sequence[Dict[int, float]]] = None,
     ) -> BatchResult:
         """Answer every query's AKNN at one shared ``k`` and ``alpha``.
 
@@ -142,6 +145,17 @@ class BatchQueryExecutor:
         the same exact neighbour sets.  ``workers`` overrides the configured
         thread count for the refinement phase (``None`` uses
         ``config.batch_workers``).
+
+        ``initial_tau`` is an optional per-query pruning radius that must be
+        a valid upper bound on each query's true k-th neighbour distance over
+        the caller's *whole* dataset.  When given, the local KD-tree
+        bootstrap is skipped and the traversal prunes against these radii
+        directly — the sharded database passes one globally-bootstrapped
+        radius to every shard, which keeps per-shard candidate sets as tight
+        as the unsharded ones.  ``initial_exact`` optionally seeds each
+        query's exact-distance memo (one dict per query) so distances the
+        caller already evaluated — e.g. for the bootstrap nominees — are not
+        recomputed during refinement.
         """
         if k <= 0:
             raise InvalidQueryError(f"k must be positive, got {k}")
@@ -164,7 +178,8 @@ class BatchQueryExecutor:
             per_query: List[List[Neighbor]] = [[] for _ in queries]
         else:
             per_query = self._run_batch(
-                queries, k, alpha, method, workers, rng, metrics, query_metrics
+                queries, k, alpha, method, workers, rng, metrics, query_metrics,
+                initial_tau=initial_tau, initial_exact=initial_exact,
             )
 
         elapsed = timer.stop()
@@ -210,6 +225,8 @@ class BatchQueryExecutor:
         rng: Optional[np.random.Generator],
         metrics: MetricsCollector,
         query_metrics: List[MetricsCollector],
+        initial_tau: Optional[np.ndarray] = None,
+        initial_exact: Optional[Sequence[Dict[int, float]]] = None,
     ) -> List[List[Neighbor]]:
         improved = method != "basic"
         prepared = [
@@ -220,8 +237,23 @@ class BatchQueryExecutor:
         q_hi = np.stack([p.query_mbr.upper for p in prepared])
 
         cuts: Dict[int, np.ndarray] = {}
-        exact: List[Dict[int, float]] = [dict() for _ in prepared]
-        tau = self._bootstrap_tau(prepared, k, alpha, cuts, exact, metrics)
+        if initial_exact is not None:
+            if len(initial_exact) != len(prepared):
+                raise InvalidQueryError(
+                    f"initial_exact needs one memo per query "
+                    f"({len(prepared)}), got {len(initial_exact)}"
+                )
+            exact: List[Dict[int, float]] = [dict(d) for d in initial_exact]
+        else:
+            exact = [dict() for _ in prepared]
+        if initial_tau is not None:
+            tau = np.asarray(initial_tau, dtype=float)
+            if tau.shape != (len(prepared),):
+                raise InvalidQueryError(
+                    f"initial_tau must have shape ({len(prepared)},), got {tau.shape}"
+                )
+        else:
+            tau = self._bootstrap_tau(prepared, k, alpha, cuts, exact, metrics)
         candidates = self._shared_traversal(
             prepared, alpha, improved, q_lo, q_hi, tau, metrics
         )
@@ -362,8 +394,8 @@ class BatchQueryExecutor:
     # ------------------------------------------------------------------
     def _representative_index(self) -> Tuple[Optional[object], np.ndarray]:
         """KD-tree over every summary's representative point (cached)."""
-        size = len(self.tree)
-        if self._rep_index is not None and self._rep_index[0] == size:
+        key = (len(self.tree), getattr(self.tree, "mutations", 0))
+        if self._rep_index is not None and self._rep_index[0] == key:
             return self._rep_index[1], self._rep_index[2]
         reps: List[np.ndarray] = []
         oids: List[int] = []
@@ -374,7 +406,7 @@ class BatchQueryExecutor:
             return None, np.empty(0, dtype=np.int64)
         tree = cKDTree(np.asarray(reps))
         oid_array = np.asarray(oids, dtype=np.int64)
-        self._rep_index = (size, tree, oid_array)
+        self._rep_index = (key, tree, oid_array)
         return tree, oid_array
 
     def _fetch_cuts(

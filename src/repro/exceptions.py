@@ -58,3 +58,17 @@ class IndexError_(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the benchmark harness for inconsistent experiment configs."""
+
+
+class ServiceOverloadedError(ReproError):
+    """Raised when the query service sheds a request.
+
+    The coalescer's admission control bounds the number of requests that may
+    wait in its buckets (``RuntimeConfig.service_queue_depth``); submissions
+    beyond the bound fail fast with this error instead of growing the queue
+    without limit.  Callers are expected to back off and retry.
+    """
+
+
+class ServiceStoppedError(ReproError):
+    """Raised when a request is submitted to a service that is not running."""

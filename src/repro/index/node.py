@@ -54,6 +54,21 @@ class RTreeNode:
         if self._soa is not None:
             self._soa.append(entry)
 
+    def remove_entry(self, entry: Entry) -> None:
+        """Remove an entry, keeping the SoA view aligned.
+
+        A populated view is updated in place (the matching row shifts out); a
+        node left empty drops its view entirely, since a SoA cannot represent
+        zero rows.
+        """
+        index = self.entries.index(entry)
+        self.entries.pop(index)
+        if self._soa is not None:
+            if self.entries:
+                self._soa.remove_row(index)
+            else:
+                self._soa = None
+
     # ------------------------------------------------------------------
     # Struct-of-arrays view
     # ------------------------------------------------------------------

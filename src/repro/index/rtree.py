@@ -3,10 +3,19 @@
 Supported operations:
 
 * one-by-one insertion with Guttman's quadratic split,
+* deletion with Guttman's CondenseTree: the entry is located through a
+  containment-guided descent, underfull nodes along the path are dissolved
+  and their surviving entries reinserted at their original level, and a
+  root left with a single child is shortened,
 * Sort-Tile-Recursive (STR) bulk loading, the default when building a
   database from a full dataset,
 * rectangle range search (used by the RSS optimisation of Section 4.2),
 * structural validation (used by the test suite).
+
+Every structural mutation bumps :attr:`RTree.mutations`, which lets callers
+that cache derived structures (for example the batch executor's
+representative KD-tree) detect that the indexed set changed even when the
+entry count did not (an insert/delete pair).
 
 The best-first kNN traversal itself lives in :mod:`repro.core.aknn`; the tree
 only exposes its root and nodes so the searchers can maintain their own
@@ -46,6 +55,7 @@ class RTree:
         self.min_entries = max(1, int(math.ceil(max_entries * min_fill)))
         self.root = RTreeNode(level=0)
         self._size = 0
+        self.mutations = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -110,22 +120,28 @@ class RTree:
     # ------------------------------------------------------------------
     def insert(self, summary: FuzzyObjectSummary) -> None:
         """Insert one summary, splitting nodes on overflow."""
-        entry = LeafEntry(summary)
-        split = self._insert_into(self.root, entry)
+        self._insert_entry(LeafEntry(summary), target_level=0)
+        self._size += 1
+        self.mutations += 1
+
+    def _insert_entry(self, entry: Entry, target_level: int) -> None:
+        """Place ``entry`` into a node of ``target_level``, growing the root on split."""
+        split = self._insert_into(self.root, entry, target_level)
         if split is not None:
             old_root = self.root
             new_root = RTreeNode(level=old_root.level + 1)
             new_root.add(InternalEntry(old_root.compute_mbr(), old_root))
             new_root.add(InternalEntry(split.compute_mbr(), split))
             self.root = new_root
-        self._size += 1
 
-    def _insert_into(self, node: RTreeNode, entry: LeafEntry) -> Optional[RTreeNode]:
-        if node.is_leaf:
+    def _insert_into(
+        self, node: RTreeNode, entry: Entry, target_level: int
+    ) -> Optional[RTreeNode]:
+        if node.level == target_level:
             node.add(entry)
         else:
             child_entry = self._choose_subtree(node, entry.mbr)
-            split = self._insert_into(child_entry.child, entry)
+            split = self._insert_into(child_entry.child, entry, target_level)
             child_entry.refresh_mbr()
             node.refresh_child_mbr(child_entry)
             if split is not None:
@@ -209,6 +225,97 @@ class RTree:
                 best_diff = diff
                 best_index = i
         return best_index
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, object_id: int, mbr: Optional[MBR] = None) -> None:
+        """Remove the data entry for ``object_id`` (Guttman's CondenseTree).
+
+        ``mbr`` is the entry's support MBR when the caller knows it (it guides
+        the descent so only covering subtrees are searched); without it the
+        whole tree is scanned for the entry.  Underfull nodes along the
+        deletion path are dissolved and their entries reinserted at their
+        original level; a root left with a single child is shortened.
+        Raises :class:`IndexError_` when the object is not indexed.
+        """
+        path = self._find_leaf(self.root, int(object_id), mbr)
+        if path is None:
+            raise IndexError_(f"object {object_id} is not indexed")
+        leaf = path[-1]
+        entry = next(e for e in leaf.entries if e.object_id == object_id)
+        leaf.remove_entry(entry)
+        self._size -= 1
+        self.mutations += 1
+        orphans = self._condense(path)
+        # Taller orphan subtrees go back first so lower-level entries can
+        # descend into them (the empty-root seeding below depends on it).
+        for level, orphan in sorted(orphans, key=lambda item: -item[0]):
+            self._reinsert(orphan, level)
+        while not self.root.is_leaf and len(self.root.entries) == 1:
+            self.root = self.root.entries[0].child
+        if not self.root.is_leaf and not self.root.entries:
+            self.root = RTreeNode(level=0)
+
+    def _find_leaf(
+        self, node: RTreeNode, object_id: int, mbr: Optional[MBR]
+    ) -> Optional[List[RTreeNode]]:
+        """Root-to-leaf path ending at the node holding ``object_id``."""
+        if node.is_leaf:
+            if any(e.object_id == object_id for e in node.entries):
+                return [node]
+            return None
+        for entry in node.entries:
+            if mbr is not None and not entry.mbr.contains(mbr):
+                continue
+            tail = self._find_leaf(entry.child, object_id, mbr)
+            if tail is not None:
+                return [node, *tail]
+        return None
+
+    def _condense(self, path: List[RTreeNode]) -> List[Tuple[int, Entry]]:
+        """Dissolve underfull nodes along ``path``, bottom-up.
+
+        Returns the orphaned entries as ``(level, entry)`` pairs, where
+        ``level`` is the node level the entry must be reinserted at.  Nodes
+        that stay adequately filled get their parent MBRs tightened instead.
+        """
+        orphans: List[Tuple[int, Entry]] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            parent_entry = next(e for e in parent.entries if e.child is node)
+            if len(node.entries) < self.min_entries:
+                parent.remove_entry(parent_entry)
+                orphans.extend((node.level, e) for e in node.entries)
+            else:
+                parent_entry.refresh_mbr()
+                parent.refresh_child_mbr(parent_entry)
+        return orphans
+
+    def _reinsert(self, entry: Entry, target_level: int) -> None:
+        """Reinsert one orphaned entry into a node of ``target_level``.
+
+        An empty root (every subtree dissolved) is reseeded directly: an
+        orphaned subtree becomes the new root, an orphaned data entry a fresh
+        leaf root.
+        """
+        if not self.root.entries:
+            if isinstance(entry, InternalEntry):
+                self.root = entry.child
+            else:
+                self.root = RTreeNode(level=0, entries=[entry])
+            return
+        if isinstance(entry, InternalEntry) and entry.child.level >= self.root.level:
+            # The orphaned subtree is as tall as the (reseeded) tree itself:
+            # join both under a fresh root instead of descending.
+            old_root = self.root
+            new_root = RTreeNode(level=entry.child.level + 1)
+            new_root.add(InternalEntry(old_root.compute_mbr(), old_root))
+            new_root.add(entry)
+            self.root = new_root
+            return
+        self._insert_entry(entry, target_level)
 
     # ------------------------------------------------------------------
     # Search primitives

@@ -204,6 +204,34 @@ class NodeSoA:
         self._hi[index] = mbr.upper
         self._alpha_cache.clear()
 
+    def remove_row(self, index: int) -> None:
+        """Drop one row in place after an entry deletion.
+
+        The rows above ``index`` shift down by one so the view stays aligned
+        with the node's ``entries`` list (which removes by ``list.pop``); the
+        memoised per-alpha reconstructions are invalidated.
+        """
+        n = self._n
+        if not 0 <= index < n:
+            raise IndexError(f"row {index} out of range for SoA of {n} rows")
+
+        def shift(buffer: np.ndarray) -> None:
+            buffer[index : n - 1] = buffer[index + 1 : n]
+
+        shift(self._lo)
+        shift(self._hi)
+        if self.is_leaf:
+            shift(self._kernel_lo)
+            shift(self._kernel_hi)
+            shift(self._up_slope)
+            shift(self._up_icpt)
+            shift(self._lo_slope)
+            shift(self._lo_icpt)
+            shift(self._reps)
+            shift(self._object_ids)
+        self._n = n - 1
+        self._alpha_cache.clear()
+
     # ------------------------------------------------------------------
     # Array views
     # ------------------------------------------------------------------

@@ -9,6 +9,7 @@ tests and ablation benchmarks.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import Dict, Iterator
 
@@ -30,6 +31,15 @@ class MetricsCollector:
     CACHE_MISSES = "cache_misses"
     BATCH_QUERIES = "batch_queries"
     NODES_PRUNED = "nodes_pruned"
+    # Sharded query-service accounting: per-shard sub-queries issued by the
+    # fan-out layer, coalescer flushes and the requests they carried, requests
+    # shed by admission control, and live index mutations.
+    SHARD_FANOUTS = "shard_fanouts"
+    COALESCED_BATCHES = "coalesced_batches"
+    COALESCED_QUERIES = "coalesced_queries"
+    SHED_REQUESTS = "shed_requests"
+    LIVE_INSERTS = "live_inserts"
+    LIVE_DELETES = "live_deletes"
 
     def __init__(self) -> None:
         self._counts: Dict[str, int] = defaultdict(int)
@@ -61,3 +71,34 @@ class MetricsCollector:
     def __repr__(self) -> str:
         parts = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
         return f"MetricsCollector({parts})"
+
+
+class SharedMetricsCollector(MetricsCollector):
+    """A collector safe to increment from concurrent threads.
+
+    The per-query collectors stay lock-free (they are single-threaded and
+    hot); the service layer's long-lived collectors — bumped from whichever
+    thread submits a query or applies a live update — use this variant so
+    concurrent read-modify-write increments cannot drop counts.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += amount
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def merge(self, other: "MetricsCollector") -> None:
+        with self._lock:
+            for name, value in other._counts.items():
+                self._counts[name] += value

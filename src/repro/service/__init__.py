@@ -1,0 +1,43 @@
+"""The sharded concurrent query service.
+
+This package layers a serving architecture on top of the query engine:
+
+* :mod:`repro.service.placement` — hash and space shard-placement policies;
+* :mod:`repro.service.sharded` — :class:`ShardedDatabase`, partitioned
+  indexes with parallel fan-out, global top-k merging and live updates;
+* :mod:`repro.service.query_service` — :class:`QueryService`, a coalescing,
+  admission-controlled front end reporting p50/p99 latency;
+* :mod:`repro.service.concurrency` — the readers/writer lock and epoch
+  counter the shards synchronise on.
+
+Typical usage::
+
+    from repro.service import ShardedDatabase, QueryService
+
+    db = ShardedDatabase.build(objects, n_shards=4, placement="hash")
+    with QueryService(db, window_ms=2.0, max_batch=64) as service:
+        future = service.submit(query, k=20, alpha=0.5)
+        result = future.result()
+"""
+
+from repro.service.concurrency import EpochCounter, ReadWriteLock
+from repro.service.placement import (
+    PLACEMENT_POLICIES,
+    HashPlacement,
+    SpacePlacement,
+    make_placement,
+)
+from repro.service.query_service import QueryService, ServiceStats
+from repro.service.sharded import ShardedDatabase
+
+__all__ = [
+    "ShardedDatabase",
+    "QueryService",
+    "ServiceStats",
+    "HashPlacement",
+    "SpacePlacement",
+    "make_placement",
+    "PLACEMENT_POLICIES",
+    "ReadWriteLock",
+    "EpochCounter",
+]

@@ -1,0 +1,87 @@
+"""Concurrency primitives for the sharded query service.
+
+The service runs queries and live updates against the same per-shard index
+structures.  Queries share a shard freely (searchers only read the tree and
+append to caches, which are individually thread-safe), but a structural
+mutation — an R-tree insert or delete with its condense/reinsert cascade —
+must never interleave with a traversal.  Each shard therefore carries a
+:class:`ReadWriteLock`: queries hold it shared, mutations exclusively, and
+the shard's epoch counter advances once per exclusive section so callers can
+tell which version of the shard a result was computed against.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """A writer-preferring readers/writer lock.
+
+    Any number of readers may hold the lock simultaneously; a writer waits
+    for active readers to drain and excludes everyone.  Arriving readers
+    queue behind a waiting writer so a steady query stream cannot starve
+    updates.  Not reentrant — a thread must not acquire the read side while
+    holding the write side or vice versa.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Hold the lock shared for the duration of the block."""
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._active_readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._active_readers -= 1
+                if self._active_readers == 0:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Hold the lock exclusively for the duration of the block."""
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._condition.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writer_active = False
+                self._condition.notify_all()
+
+
+class EpochCounter:
+    """A monotonically increasing version number with thread-safe advance."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def advance(self) -> int:
+        """Bump and return the new epoch."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    @property
+    def value(self) -> int:
+        return self._value

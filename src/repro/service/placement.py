@@ -1,0 +1,119 @@
+"""Shard placement policies.
+
+A placement policy decides, for every object, which shard owns it.  Two
+policies are provided:
+
+``hash``
+    Stateless multiplicative hashing of the object id.  Placement is uniform
+    regardless of the data distribution, so shards stay balanced under any
+    insert/delete workload, at the cost of no spatial locality — every query
+    fans out to all shards.
+
+``space``
+    One-dimensional striping of the space: shard boundaries are fitted to
+    the quantiles of the objects' support-MBR centres along the first axis,
+    so each shard owns a contiguous slab.  Spatially concentrated query load
+    then touches few shards; the trade-off is skew when inserts concentrate
+    in one slab.
+
+Both policies are deterministic functions of the object, so the owner of an
+id can always be recomputed — the sharded database additionally keeps an
+owner map so deletes don't need the object's geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+PLACEMENT_POLICIES = ("hash", "space")
+
+# Knuth's multiplicative hashing constant (2^32 / phi); spreads sequential
+# ids uniformly across shards instead of striping them modulo the count.
+_HASH_MULTIPLIER = 2654435761
+_HASH_MASK = 0xFFFFFFFF
+
+
+class HashPlacement:
+    """Uniform placement by multiplicative hashing of the object id."""
+
+    name = "hash"
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+
+    def shard_for(self, object_id: int, center: Optional[np.ndarray] = None) -> int:
+        """Owning shard of ``object_id`` (the centre is ignored)."""
+        return ((int(object_id) * _HASH_MULTIPLIER) & _HASH_MASK) % self.n_shards
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "n_shards": self.n_shards}
+
+    def __repr__(self) -> str:
+        return f"HashPlacement(n_shards={self.n_shards})"
+
+
+class SpacePlacement:
+    """Quantile-striped placement along the first spatial axis."""
+
+    name = "space"
+
+    def __init__(self, boundaries: Sequence[float]):
+        # boundaries[i] is the upper edge of stripe i; the last stripe is
+        # open-ended, so n_shards = len(boundaries) + 1.
+        self.boundaries = np.asarray(boundaries, dtype=float)
+        self.n_shards = self.boundaries.size + 1
+
+    @classmethod
+    def fit(cls, centers: np.ndarray, n_shards: int) -> "SpacePlacement":
+        """Fit stripe boundaries to the quantiles of ``centers``' first axis.
+
+        With fewer distinct coordinates than shards the quantiles collapse;
+        the duplicate boundaries are kept (some stripes own nothing), which
+        is harmless — queries against an empty shard return instantly.
+        """
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if n_shards == 1 or centers.size == 0:
+            return cls(np.empty(0))
+        xs = np.asarray(centers, dtype=float)
+        if xs.ndim == 2:
+            xs = xs[:, 0]
+        quantiles = np.linspace(0.0, 1.0, n_shards + 1)[1:-1]
+        return cls(np.quantile(xs, quantiles))
+
+    def shard_for(self, object_id: int, center: Optional[np.ndarray] = None) -> int:
+        """Owning shard for an object centred at ``center``."""
+        if center is None:
+            raise ValueError("space placement requires the object's centre")
+        x = float(np.asarray(center, dtype=float).reshape(-1)[0])
+        return int(np.searchsorted(self.boundaries, x, side="right"))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "boundaries": self.boundaries.tolist(),
+        }
+
+    def __repr__(self) -> str:
+        return f"SpacePlacement(n_shards={self.n_shards})"
+
+
+def make_placement(
+    name: str,
+    n_shards: int,
+    centers: Optional[np.ndarray] = None,
+):
+    """Build the named placement policy for ``n_shards`` shards."""
+    if name not in PLACEMENT_POLICIES:
+        raise ValueError(
+            f"unknown placement policy {name!r}; expected one of {PLACEMENT_POLICIES}"
+        )
+    if name == "hash":
+        return HashPlacement(n_shards)
+    if centers is None:
+        centers = np.empty((0, 1))
+    return SpacePlacement.fit(np.asarray(centers, dtype=float), n_shards)

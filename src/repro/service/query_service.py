@@ -1,0 +1,352 @@
+"""A concurrent query front end with request coalescing.
+
+:class:`QueryService` turns the batch executor's throughput into a serving
+story: concurrent callers submit single AKNN requests and receive futures;
+behind the scenes a coalescer groups compatible requests — same
+``(k, alpha, method)`` — into buckets and flushes each bucket through
+``aknn_batch`` when it either reaches ``coalesce_max_batch`` requests or its
+oldest request has waited ``coalesce_window_ms`` milliseconds.  One shared
+R-tree traversal then answers the whole bucket.
+
+Admission control bounds the number of requests waiting across all buckets
+(``service_queue_depth``); submissions beyond the bound fail fast with
+:class:`~repro.exceptions.ServiceOverloadedError` instead of queueing
+without limit.  Every completed request records its end-to-end latency
+(submit to future resolution), from which the service reports p50/p99.
+
+The service works over a :class:`~repro.service.sharded.ShardedDatabase`
+(each flush fans out across shards) or a plain
+:class:`~repro.core.database.FuzzyDatabase`; live ``insert``/``delete``
+passes straight through to the underlying database, whose shard write locks
+keep in-flight flushes consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import RuntimeConfig
+from repro.core.results import AKNNResult
+from repro.exceptions import ServiceOverloadedError, ServiceStoppedError
+from repro.fuzzy.fuzzy_object import FuzzyObject
+from repro.metrics.counters import MetricsCollector, SharedMetricsCollector
+
+_BucketKey = Tuple[int, float, str]
+
+
+class _Request:
+    __slots__ = ("query", "future", "submitted_at")
+
+    def __init__(self, query: FuzzyObject, submitted_at: float):
+        self.query = query
+        self.future: "Future[AKNNResult]" = Future()
+        self.submitted_at = submitted_at
+
+
+class _Bucket:
+    __slots__ = ("key", "requests", "opened_at")
+
+    def __init__(self, key: _BucketKey, opened_at: float):
+        self.key = key
+        self.requests: List[_Request] = []
+        self.opened_at = opened_at
+
+
+@dataclass
+class ServiceStats:
+    """A point-in-time summary of the service's serving behaviour."""
+
+    requests_submitted: int = 0
+    requests_completed: int = 0
+    requests_shed: int = 0
+    requests_failed: int = 0
+    batches_flushed: int = 0
+    coalesced_queries: int = 0
+    max_batch_size: int = 0
+    mean_batch_size: float = 0.0
+    p50_latency_ms: float = 0.0
+    p99_latency_ms: float = 0.0
+    mean_latency_ms: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        payload = {
+            "requests_submitted": self.requests_submitted,
+            "requests_completed": self.requests_completed,
+            "requests_shed": self.requests_shed,
+            "requests_failed": self.requests_failed,
+            "batches_flushed": self.batches_flushed,
+            "coalesced_queries": self.coalesced_queries,
+            "max_batch_size": self.max_batch_size,
+            "mean_batch_size": self.mean_batch_size,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "mean_latency_ms": self.mean_latency_ms,
+        }
+        payload.update(self.counters)
+        return payload
+
+
+class QueryService:
+    """Coalescing, admission-controlled front end over a database.
+
+    Parameters
+    ----------
+    database:
+        Anything exposing ``aknn_batch`` (a :class:`ShardedDatabase` or a
+        plain :class:`FuzzyDatabase`); ``insert``/``delete`` are forwarded
+        when present.
+    window_ms / max_batch / queue_depth:
+        Coalescer knobs; default to the database config's
+        ``coalesce_window_ms`` / ``coalesce_max_batch`` /
+        ``service_queue_depth``.
+    latency_window:
+        Number of recent per-request latencies kept for the percentile
+        telemetry.
+    """
+
+    def __init__(
+        self,
+        database,
+        window_ms: Optional[float] = None,
+        max_batch: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+        latency_window: int = 8192,
+    ):
+        config = getattr(database, "config", None) or RuntimeConfig()
+        self.database = database
+        self.window_seconds = (
+            config.coalesce_window_ms if window_ms is None else float(window_ms)
+        ) / 1000.0
+        self.max_batch = (
+            config.coalesce_max_batch if max_batch is None else int(max_batch)
+        )
+        self.queue_depth = (
+            config.service_queue_depth if queue_depth is None else int(queue_depth)
+        )
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.metrics = SharedMetricsCollector()
+        self._cv = threading.Condition()
+        self._buckets: Dict[_BucketKey, _Bucket] = {}
+        self._pending = 0
+        self._running = False
+        self._flusher: Optional[threading.Thread] = None
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+        self._submitted = 0
+        self._completed = 0
+        self._shed = 0
+        self._failed = 0
+        self._batches = 0
+        self._coalesced = 0
+        self._max_batch_seen = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "QueryService":
+        """Start the background flusher; idempotent."""
+        with self._cv:
+            if self._running:
+                return self
+            self._running = True
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="query-service-flusher", daemon=True
+        )
+        self._flusher.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the service.
+
+        ``drain=True`` flushes every waiting bucket before returning, so all
+        outstanding futures resolve; ``drain=False`` fails them with
+        :class:`ServiceStoppedError`.
+        """
+        with self._cv:
+            if not self._running and self._flusher is None:
+                return
+            self._running = False
+            if not drain:
+                for bucket in self._buckets.values():
+                    for request in bucket.requests:
+                        request.future.set_exception(
+                            ServiceStoppedError("query service stopped before flush")
+                        )
+                self._pending = 0
+                self._buckets.clear()
+            self._cv.notify_all()
+        if self._flusher is not None:
+            self._flusher.join()
+            self._flusher = None
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+    ) -> "Future[AKNNResult]":
+        """Enqueue one AKNN request; returns a future for its result.
+
+        Requests sharing ``(k, alpha, method)`` coalesce into one batch.
+        Raises :class:`ServiceOverloadedError` when the queue is full and
+        :class:`ServiceStoppedError` when the service is not running.
+        """
+        key: _BucketKey = (int(k), float(alpha), str(method))
+        now = time.perf_counter()
+        request = _Request(query, now)
+        with self._cv:
+            if not self._running:
+                raise ServiceStoppedError("query service is not running")
+            if self._pending >= self.queue_depth:
+                self._shed += 1
+                self.metrics.increment(MetricsCollector.SHED_REQUESTS)
+                raise ServiceOverloadedError(
+                    f"queue depth {self.queue_depth} exceeded; request shed"
+                )
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = _Bucket(key, now)
+                self._buckets[key] = bucket
+            bucket.requests.append(request)
+            self._pending += 1
+            self._submitted += 1
+            self._cv.notify_all()
+        return request.future
+
+    def aknn(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+        timeout: Optional[float] = None,
+    ) -> AKNNResult:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(query, k, alpha, method=method).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Live updates (forwarded to the database)
+    # ------------------------------------------------------------------
+    def insert(self, obj: FuzzyObject, rng=None) -> int:
+        """Insert into the underlying database (shard write locks apply)."""
+        object_id = self.database.insert(obj, rng=rng)
+        self.metrics.increment(MetricsCollector.LIVE_INSERTS)
+        return object_id
+
+    def delete(self, object_id: int) -> None:
+        """Delete from the underlying database (shard write locks apply)."""
+        self.database.delete(object_id)
+        self.metrics.increment(MetricsCollector.LIVE_DELETES)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Current serving statistics (latency percentiles in milliseconds)."""
+        with self._cv:
+            latencies = list(self._latencies)
+            stats = ServiceStats(
+                requests_submitted=self._submitted,
+                requests_completed=self._completed,
+                requests_shed=self._shed,
+                requests_failed=self._failed,
+                batches_flushed=self._batches,
+                coalesced_queries=self._coalesced,
+                max_batch_size=self._max_batch_seen,
+                mean_batch_size=(
+                    self._coalesced / self._batches if self._batches else 0.0
+                ),
+                counters=self.metrics.as_dict(),
+            )
+        if latencies:
+            millis = np.asarray(latencies) * 1000.0
+            stats.p50_latency_ms = float(np.percentile(millis, 50))
+            stats.p99_latency_ms = float(np.percentile(millis, 99))
+            stats.mean_latency_ms = float(millis.mean())
+        return stats
+
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting in coalescer buckets."""
+        with self._cv:
+            return self._pending
+
+    # ------------------------------------------------------------------
+    # Flusher
+    # ------------------------------------------------------------------
+    def _due_buckets(self, now: float, flush_all: bool) -> List[_Bucket]:
+        """Pop the buckets ready to execute (size or deadline trigger)."""
+        due: List[_Bucket] = []
+        for key in list(self._buckets):
+            bucket = self._buckets[key]
+            expired = (now - bucket.opened_at) >= self.window_seconds
+            if flush_all or expired or len(bucket.requests) >= self.max_batch:
+                due.append(self._buckets.pop(key))
+        for bucket in due:
+            self._pending -= len(bucket.requests)
+        return due
+
+    def _next_deadline(self) -> Optional[float]:
+        if not self._buckets:
+            return None
+        return min(b.opened_at for b in self._buckets.values()) + self.window_seconds
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._cv:
+                now = time.perf_counter()
+                due = self._due_buckets(now, flush_all=not self._running)
+                if not due:
+                    if not self._running:
+                        return
+                    deadline = self._next_deadline()
+                    timeout = None if deadline is None else max(0.0, deadline - now)
+                    self._cv.wait(timeout=timeout)
+                    continue
+            for bucket in due:
+                self._execute(bucket)
+
+    def _execute(self, bucket: _Bucket) -> None:
+        k, alpha, method = bucket.key
+        queries = [request.query for request in bucket.requests]
+        try:
+            batch = self.database.aknn_batch(queries, k, alpha, method=method)
+        except BaseException as exc:  # propagate into the waiting futures
+            with self._cv:
+                self._failed += len(bucket.requests)
+            for request in bucket.requests:
+                request.future.set_exception(exc)
+            return
+        done = time.perf_counter()
+        size = len(bucket.requests)
+        with self._cv:
+            self._batches += 1
+            self._coalesced += size
+            self._max_batch_seen = max(self._max_batch_seen, size)
+            self._completed += size
+            for request in bucket.requests:
+                self._latencies.append(done - request.submitted_at)
+        self.metrics.increment(MetricsCollector.COALESCED_BATCHES)
+        self.metrics.increment(MetricsCollector.COALESCED_QUERIES, size)
+        for request, result in zip(bucket.requests, batch.results):
+            request.future.set_result(result)

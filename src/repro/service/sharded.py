@@ -1,0 +1,683 @@
+"""A partitioned database with parallel shard fan-out and global merging.
+
+:class:`ShardedDatabase` splits a dataset across ``N`` independent
+:class:`~repro.core.database.FuzzyDatabase` shards, each owning its own
+object store, R-tree, SoA views and batch executor.  Placement is pluggable
+(:mod:`repro.service.placement`): hash placement balances shards uniformly,
+space placement stripes the first spatial axis so nearby objects share a
+shard.
+
+Queries fan out to every shard in parallel (one pool thread per shard) and
+the per-shard answers are merged globally:
+
+* **AKNN / batched AKNN** — each shard answers its local top-k; the global
+  answer is the k smallest exact distances across shards (ties broken by
+  object id).  Lazily-confirmed local neighbours are probed inside the
+  shard's read section so the merge always compares exact distances.
+* **Range search** — the union of the per-shard matches.
+* **RKNN** — the sweep algorithms of :mod:`repro.core.rknn` run unchanged
+  against federated building blocks: a fan-out AKNN, a fan-out range
+  collector and a store router, so every sub-query is globally correct and
+  the returned qualifying ranges are identical to the single-tree path.
+
+Live updates (:meth:`insert` / :meth:`delete`) route through the placement
+policy to the owning shard and take that shard's write lock, so in-flight
+queries never observe a half-applied R-tree mutation; each mutation advances
+the database epoch.  Object ids are globally unique and never recycled.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.config import RuntimeConfig
+from repro.core.aknn import AKNN_METHODS
+from repro.core.database import FuzzyDatabase
+from repro.core.executor import _BOOTSTRAP_EXTRA, _exact_min_distances
+from repro.core.query import PreparedQuery
+from repro.core.results import (
+    AKNNResult,
+    BatchResult,
+    Neighbor,
+    QueryStats,
+    RangeSearchResult,
+    RKNNResult,
+)
+from repro.core.rknn import RKNNSearcher
+from repro.exceptions import InvalidQueryError, ObjectNotFoundError, StorageError
+from repro.fuzzy.alpha_distance import alpha_distance
+from repro.fuzzy.fuzzy_object import FuzzyObject
+from repro.metrics.counters import MetricsCollector, SharedMetricsCollector
+from repro.metrics.timer import Timer
+from repro.service.concurrency import EpochCounter, ReadWriteLock
+from repro.service.placement import make_placement
+from repro.storage.object_store import StoreStatistics
+
+try:  # scipy is a hard dependency; keep the import failure readable.
+    from scipy.spatial import cKDTree
+except ImportError:  # pragma: no cover - scipy is always installed in CI
+    cKDTree = None
+
+T = TypeVar("T")
+
+
+class _Shard:
+    """One partition: a full FuzzyDatabase plus its readers/writer lock."""
+
+    __slots__ = ("index", "db", "lock")
+
+    def __init__(self, index: int, db: FuzzyDatabase):
+        self.index = index
+        self.db = db
+        self.lock = ReadWriteLock()
+
+
+class ShardedDatabase:
+    """A collection of fuzzy objects partitioned across independent shards."""
+
+    def __init__(
+        self,
+        shards: Sequence[FuzzyDatabase],
+        placement,
+        owners: Dict[int, int],
+        config: Optional[RuntimeConfig] = None,
+    ):
+        if not shards:
+            raise ValueError("a sharded database needs at least one shard")
+        self.config = (config or RuntimeConfig()).validate()
+        self.placement = placement
+        self._shards = [_Shard(i, db) for i, db in enumerate(shards)]
+        self._owners = dict(owners)
+        self._admin_lock = threading.Lock()
+        self._next_id = max(self._owners, default=-1) + 1
+        self._epoch = EpochCounter()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self.metrics = SharedMetricsCollector()
+        self._rknn = _FederatedRKNNSearcher(self, self.config)
+        # ((total size, summed tree mutations), KD-tree over every shard's
+        # representative points, aligned object ids); rebuilt lazily after
+        # any mutation — the global analogue of the executor's local index.
+        self._rep_index: Optional[Tuple[Tuple[int, int], object, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        objects: Iterable[FuzzyObject],
+        n_shards: Optional[int] = None,
+        placement: Optional[str] = None,
+        config: Optional[RuntimeConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "ShardedDatabase":
+        """Partition ``objects`` and build one index per shard.
+
+        Objects without an id receive globally-sequential ids; explicit ids
+        must be unique across the whole database.  ``n_shards`` and
+        ``placement`` default to the config's ``service_shards`` /
+        ``shard_placement``.
+        """
+        config = (config or RuntimeConfig()).validate()
+        n_shards = config.service_shards if n_shards is None else int(n_shards)
+        policy_name = placement or config.shard_placement
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+
+        # Two passes: ids first (explicit ids win, the rest fill the gaps),
+        # then placement, which may need every centre to fit stripes.
+        materialised: List[FuzzyObject] = []
+        raw = list(objects)
+        used = {int(o.object_id) for o in raw if o.object_id is not None}
+        if len(used) != sum(1 for o in raw if o.object_id is not None):
+            raise StorageError("explicit object ids must be unique")
+        next_free = 0
+        for obj in raw:
+            if obj.object_id is None:
+                while next_free in used:
+                    next_free += 1
+                used.add(next_free)
+                obj = obj.with_id(next_free)
+            materialised.append(obj)
+
+        centers = np.asarray(
+            [obj.support_mbr().center for obj in materialised], dtype=float
+        ) if materialised else np.empty((0, 1))
+        policy = make_placement(policy_name, n_shards, centers)
+
+        per_shard: List[List[FuzzyObject]] = [[] for _ in range(n_shards)]
+        owners: Dict[int, int] = {}
+        for obj, center in zip(materialised, centers):
+            shard_index = policy.shard_for(int(obj.object_id), center)
+            per_shard[shard_index].append(obj)
+            owners[int(obj.object_id)] = shard_index
+
+        shards = [
+            FuzzyDatabase.build(shard_objects, config=config, rng=rng)
+            for shard_objects in per_shard
+        ]
+        return cls(shards, policy, owners, config=config)
+
+    # ------------------------------------------------------------------
+    # Shard plumbing
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def epoch(self) -> int:
+        """Number of live mutations applied since construction."""
+        return self._epoch.value
+
+    def shard_sizes(self) -> List[int]:
+        """Object count per shard (placement-balance diagnostics)."""
+        return [len(shard.db) for shard in self._shards]
+
+    def _fanout_pool(self) -> ThreadPoolExecutor:
+        with self._admin_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=len(self._shards),
+                    thread_name_prefix="shard-fanout",
+                )
+            return self._pool
+
+    def _map_shards(self, fn: Callable[[_Shard], T]) -> List[T]:
+        """Apply ``fn`` to every shard, in parallel when there are several."""
+        self.metrics.increment(MetricsCollector.SHARD_FANOUTS, len(self._shards))
+        if len(self._shards) == 1:
+            return [fn(self._shards[0])]
+        return list(self._fanout_pool().map(fn, self._shards))
+
+    def _owner_shard(self, object_id: int) -> _Shard:
+        with self._admin_lock:
+            shard_index = self._owners.get(int(object_id))
+        if shard_index is None:
+            raise ObjectNotFoundError(f"object {object_id} is not in the database")
+        return self._shards[shard_index]
+
+    # ------------------------------------------------------------------
+    # Global pruning-radius bootstrap
+    # ------------------------------------------------------------------
+    def _global_rep_index(self) -> Tuple[Optional[object], np.ndarray]:
+        """KD-tree over every shard's representative points (cached).
+
+        The cross-shard analogue of the executor's per-shard index: one
+        nominate-and-probe pass against it yields pruning radii that are
+        valid over the whole database, so each shard's traversal prunes as
+        tightly as an unsharded one would.  The caller must hold every
+        shard's read lock (the batch path does); taking them here would
+        deadlock against the non-reentrant writer-preferring lock.
+        """
+        key = (len(self), sum(shard.db.tree.mutations for shard in self._shards))
+        cached = self._rep_index
+        if cached is not None and cached[0] == key:
+            return cached[1], cached[2]
+        reps: List[np.ndarray] = []
+        oids: List[int] = []
+        for shard in self._shards:
+            for entry in shard.db.tree.leaf_entries():
+                reps.append(entry.summary.representative)
+                oids.append(entry.object_id)
+        if not reps or cKDTree is None:
+            return None, np.empty(0, dtype=np.int64)
+        tree = cKDTree(np.asarray(reps))
+        oid_array = np.asarray(oids, dtype=np.int64)
+        self._rep_index = (key, tree, oid_array)
+        return tree, oid_array
+
+    def _global_bootstrap(
+        self,
+        queries: Sequence[FuzzyObject],
+        k: int,
+        alpha: float,
+        rng: Optional[np.random.Generator],
+    ) -> Optional[Tuple[np.ndarray, List[Dict[int, float]]]]:
+        """Globally-valid per-query pruning radii for a batch.
+
+        For each query, the ``k + extra`` objects whose representatives sit
+        closest to the query alpha-cut centre are probed exactly (each cut
+        fetched once, from its owning shard); the k-th smallest probed
+        distance upper-bounds the true global k-th neighbour distance.
+        Returns ``(tau, exact)`` — the radii plus the per-query exact
+        distances already paid for, which seed the shard executors' memos so
+        bootstrap nominees are never re-evaluated.  Returns ``None`` when no
+        usable radius can be computed (tiny database, scipy missing) —
+        shards then bootstrap locally.  Caller must hold every shard's read
+        lock, and must keep holding it through the fan-out that consumes the
+        radii — they are only valid against the snapshot they were probed
+        from.
+        """
+        rep_tree, rep_oids = self._global_rep_index()
+        if rep_tree is None or rep_oids.shape[0] < k:
+            return None
+        prepared = [PreparedQuery(q, alpha, self.config, rng) for q in queries]
+        kk = min(k + _BOOTSTRAP_EXTRA, rep_oids.shape[0])
+        centers = np.stack(
+            [(p.query_mbr.lower + p.query_mbr.upper) / 2.0 for p in prepared]
+        )
+        _, rep_idx = rep_tree.query(centers, k=kk)
+        if kk == 1:
+            rep_idx = rep_idx[:, None]
+        nominated = rep_oids[rep_idx]
+        # Fetch each distinct nominee once, grouped per owning shard so every
+        # shard's read lock is taken a single time for the whole group.
+        by_shard: Dict[int, List[int]] = {}
+        with self._admin_lock:
+            for object_id in np.unique(nominated).tolist():
+                shard_index = self._owners.get(object_id)
+                if shard_index is not None:
+                    by_shard.setdefault(shard_index, []).append(object_id)
+        cuts: Dict[int, np.ndarray] = {}
+        for shard_index, object_ids in by_shard.items():
+            store = self._shards[shard_index].db.store
+            for object_id in object_ids:
+                try:
+                    cuts[object_id] = store.get(object_id).alpha_cut(alpha)
+                except ObjectNotFoundError:
+                    # Deleted before this batch took its locks: skip it.
+                    continue
+        tau = np.full(len(prepared), np.inf)
+        exact: List[Dict[int, float]] = [dict() for _ in prepared]
+        for qi in range(len(prepared)):
+            row = [oid for oid in nominated[qi].tolist() if oid in cuts]
+            if len(row) < k:
+                continue  # not enough survivors; inf stays a valid radius
+            dists = _exact_min_distances(
+                prepared[qi].query_cut, [cuts[oid] for oid in row]
+            )
+            exact[qi] = dict(zip(row, dists.tolist()))
+            tau[qi] = float(np.partition(dists, k - 1)[k - 1])
+        return tau, exact
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def aknn(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+        rng: Optional[np.random.Generator] = None,
+    ) -> AKNNResult:
+        """Global AKNN: per-shard top-k, merged by exact distance."""
+        self._check_aknn_args(k, method)
+        timer = Timer().start()
+
+        def run(shard: _Shard) -> Tuple[List[Neighbor], QueryStats]:
+            with shard.lock.read():
+                if len(shard.db) == 0:
+                    return [], QueryStats()
+                result = shard.db.aknn(query, k, alpha, method=method, rng=rng)
+                resolved = self._resolve_exact(shard.db, result.neighbors, query, alpha)
+                return resolved, result.stats
+
+        per_shard = self._map_shards(run)
+        stats = QueryStats()
+        for _, shard_stats in per_shard:
+            stats.merge(shard_stats)
+        stats.aknn_calls = 1
+        stats.extra["shard_fanouts"] = float(len(self._shards))
+        merged = self._merge_topk([neighbors for neighbors, _ in per_shard], k)
+        stats.elapsed_seconds = timer.stop()
+        return AKNNResult(
+            neighbors=merged, k=k, alpha=alpha, method=method, stats=stats
+        )
+
+    def aknn_batch(
+        self,
+        queries: Iterable[FuzzyObject],
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+        workers: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> BatchResult:
+        """Batched AKNN: every shard answers the whole batch through its
+        vectorized executor, then each query's shard answers merge globally."""
+        self._check_aknn_args(k, method)
+        queries = list(queries)
+        timer = Timer().start()
+        # The whole batch runs under every shard's read lock: the globally
+        # bootstrapped pruning radii are only valid against the dataset they
+        # were probed from, so a delete landing between bootstrap and
+        # fan-out could otherwise prune true neighbours.  Readers share the
+        # locks freely — only live updates are held off until the batch is
+        # done.  The per-shard calls below must stay lock-free (the lock is
+        # not reentrant and writer preference would deadlock nested reads).
+        with ExitStack() as stack:
+            for shard in self._shards:
+                stack.enter_context(shard.lock.read())
+            # One global nominate-and-probe pass replaces N per-shard
+            # bootstraps and hands every shard the tight global radius to
+            # prune against, plus the exact distances already paid for.
+            bootstrap = (
+                self._global_bootstrap(queries, k, alpha, rng)
+                if queries and len(self._shards) > 1
+                else None
+            )
+            initial_tau, initial_exact = bootstrap if bootstrap else (None, None)
+
+            def run(shard: _Shard) -> BatchResult:
+                return shard.db.aknn_batch(
+                    queries, k, alpha, method=method, workers=workers, rng=rng,
+                    initial_tau=initial_tau, initial_exact=initial_exact,
+                )
+
+            shard_batches = self._map_shards(run)
+        results: List[AKNNResult] = []
+        for qi in range(len(queries)):
+            per_shard = [batch.results[qi].neighbors for batch in shard_batches]
+            merged = self._merge_topk(per_shard, k)
+            per_query_stats = QueryStats(
+                distance_evaluations=sum(
+                    batch.results[qi].stats.distance_evaluations
+                    for batch in shard_batches
+                ),
+                aknn_calls=1,
+            )
+            results.append(
+                AKNNResult(
+                    neighbors=merged, k=k, alpha=alpha, method=method,
+                    stats=per_query_stats,
+                )
+            )
+
+        stats = QueryStats()
+        for batch in shard_batches:
+            stats.merge(batch.stats)
+        stats.aknn_calls = len(queries)
+        stats.elapsed_seconds = timer.stop()
+        stats.extra["batch_queries"] = float(len(queries))
+        stats.extra["shard_fanouts"] = float(len(self._shards))
+        if stats.elapsed_seconds > 0.0:
+            stats.extra["throughput_qps"] = len(queries) / stats.elapsed_seconds
+        return BatchResult(results=results, k=k, alpha=alpha, method=method, stats=stats)
+
+    def range_search(
+        self,
+        query: FuzzyObject,
+        alpha: float,
+        radius: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> RangeSearchResult:
+        """All objects within ``radius`` at ``alpha``: union of shard answers."""
+        timer = Timer().start()
+
+        def run(shard: _Shard) -> RangeSearchResult:
+            with shard.lock.read():
+                return shard.db.range_search(query, alpha, radius, rng=rng)
+
+        per_shard = self._map_shards(run)
+        matches = [match for result in per_shard for match in result.matches]
+        matches.sort(key=lambda pair: (pair[1], pair[0]))
+        stats = QueryStats()
+        for result in per_shard:
+            stats.merge(result.stats)
+        stats.range_calls = 1
+        stats.elapsed_seconds = timer.stop()
+        stats.extra["shard_fanouts"] = float(len(self._shards))
+        return RangeSearchResult(matches=matches, radius=radius, alpha=alpha, stats=stats)
+
+    def rknn(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha_range: Tuple[float, float],
+        method: str = "rss_icr",
+        aknn_method: str = "lb_lp_ub",
+        rng: Optional[np.random.Generator] = None,
+    ) -> RKNNResult:
+        """Range kNN over the whole database (federated sweep)."""
+        return self._rknn.search(
+            query, k, alpha_range, method=method, aknn_method=aknn_method, rng=rng
+        )
+
+    # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        obj: FuzzyObject,
+        rng: Optional[np.random.Generator] = None,
+    ) -> int:
+        """Add one object to the running database; returns its id.
+
+        The owning shard is chosen by the placement policy; the insert holds
+        that shard's write lock, so concurrent queries see either the old or
+        the new index state, never a partial mutation.
+        """
+        with self._admin_lock:
+            if obj.object_id is None:
+                object_id = self._next_id
+                obj = obj.with_id(object_id)
+            else:
+                object_id = int(obj.object_id)
+                if object_id in self._owners:
+                    raise StorageError(f"object id {object_id} already stored")
+            self._next_id = max(self._next_id, object_id + 1)
+        center = obj.support_mbr().center
+        shard_index = self.placement.shard_for(object_id, center)
+        shard = self._shards[shard_index]
+        with shard.lock.write():
+            shard.db.insert(obj, rng=rng)
+        with self._admin_lock:
+            self._owners[object_id] = shard_index
+            self.metrics.increment(MetricsCollector.LIVE_INSERTS)
+        self._epoch.advance()
+        return object_id
+
+    def delete(self, object_id: int) -> None:
+        """Remove one object from the running database."""
+        object_id = int(object_id)
+        shard = self._owner_shard(object_id)
+        with shard.lock.write():
+            shard.db.delete(object_id)
+        with self._admin_lock:
+            self._owners.pop(object_id, None)
+            self.metrics.increment(MetricsCollector.LIVE_DELETES)
+        self._epoch.advance()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(shard.db) for shard in self._shards)
+
+    def object_ids(self) -> List[int]:
+        """Ids of every stored object, across all shards."""
+        with self._admin_lock:
+            return sorted(self._owners)
+
+    def get_object(self, object_id: int) -> FuzzyObject:
+        """Probe one object from its owning shard's store."""
+        shard = self._owner_shard(object_id)
+        with shard.lock.read():
+            return shard.db.get_object(object_id)
+
+    def reset_statistics(self) -> None:
+        """Zero every shard store's access counters."""
+        for shard in self._shards:
+            shard.db.reset_statistics()
+
+    @property
+    def object_accesses(self) -> int:
+        """Total object accesses across shards since the last reset."""
+        return sum(shard.db.object_accesses for shard in self._shards)
+
+    def validate(self) -> None:
+        """Check per-shard index invariants and owner-map consistency."""
+        for shard in self._shards:
+            shard.db.validate()
+        indexed = {
+            object_id for shard in self._shards for object_id in shard.db.object_ids()
+        }
+        with self._admin_lock:
+            owned = set(self._owners)
+        if indexed != owned:
+            raise StorageError(
+                f"owner map drifted: {len(owned)} owned vs {len(indexed)} indexed"
+            )
+
+    def close(self) -> None:
+        """Shut the fan-out pool down and close every shard store."""
+        with self._admin_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        for shard in self._shards:
+            shard.db.close()
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Merge helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_aknn_args(k: int, method: str) -> None:
+        if k <= 0:
+            raise InvalidQueryError(f"k must be positive, got {k}")
+        if method not in AKNN_METHODS:
+            raise InvalidQueryError(
+                f"unknown AKNN method {method!r}; expected one of {AKNN_METHODS}"
+            )
+
+    def _resolve_exact(
+        self,
+        db: FuzzyDatabase,
+        neighbors: Sequence[Neighbor],
+        query: FuzzyObject,
+        alpha: float,
+    ) -> List[Neighbor]:
+        """Probe lazily-confirmed neighbours so the merge compares exact values."""
+        resolved: List[Neighbor] = []
+        for neighbor in neighbors:
+            if neighbor.distance is None:
+                obj = db.store.get(neighbor.object_id)
+                distance = alpha_distance(
+                    obj, query, alpha, use_kdtree=self.config.use_kdtree
+                )
+                neighbor = Neighbor(
+                    object_id=neighbor.object_id,
+                    distance=distance,
+                    lower_bound=distance,
+                    upper_bound=distance,
+                    probed=True,
+                )
+            resolved.append(neighbor)
+        return resolved
+
+    @staticmethod
+    def _merge_topk(
+        per_shard: Sequence[Sequence[Neighbor]], k: int
+    ) -> List[Neighbor]:
+        """Global top-k across shard answers (distance, then object id)."""
+        merged = [neighbor for neighbors in per_shard for neighbor in neighbors]
+        merged.sort(key=lambda n: (n.distance, n.object_id))
+        return merged[:k]
+
+
+# ----------------------------------------------------------------------
+# Federated building blocks for the RKNN sweep
+# ----------------------------------------------------------------------
+class _FederatedStore:
+    """Routes store reads to the owning shard; aggregates statistics.
+
+    Implements exactly the slice of the :class:`ObjectStore` interface the
+    RKNN searcher consumes (``get``, ``object_ids``, ``statistics``), so the
+    sweep algorithms run unmodified over the partitioned data.
+    """
+
+    def __init__(self, sharded: ShardedDatabase):
+        self._sharded = sharded
+
+    def get(self, object_id: int) -> FuzzyObject:
+        shard = self._sharded._owner_shard(object_id)
+        with shard.lock.read():
+            return shard.db.store.get(object_id)
+
+    def object_ids(self) -> List[int]:
+        return self._sharded.object_ids()
+
+    @property
+    def statistics(self) -> StoreStatistics:
+        """Summed counters across shard stores (snapshot-compatible)."""
+        total = StoreStatistics()
+        for shard in self._sharded._shards:
+            stats = shard.db.store.statistics
+            total.object_accesses += stats.object_accesses
+            total.physical_reads += stats.physical_reads
+            total.bytes_read += stats.bytes_read
+            total.bytes_written += stats.bytes_written
+            total.cache_hits += stats.cache_hits
+            total.deletes += stats.deletes
+        return total
+
+
+class _FanoutAKNNAdapter:
+    """AKNN-searcher facade over the sharded fan-out (for the RKNN sweep)."""
+
+    def __init__(self, sharded: ShardedDatabase):
+        self._sharded = sharded
+
+    def search(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+        rng: Optional[np.random.Generator] = None,
+    ) -> AKNNResult:
+        return self._sharded.aknn(query, k, alpha, method=method, rng=rng)
+
+
+class _FanoutRangeAdapter:
+    """Range-searcher facade collecting candidates from every shard."""
+
+    def __init__(self, sharded: ShardedDatabase):
+        self._sharded = sharded
+
+    def collect(
+        self,
+        prepared,
+        radius: float,
+        use_improved_bounds: bool = True,
+    ) -> Tuple[List[Tuple[int, float]], Dict[int, FuzzyObject]]:
+        matches: List[Tuple[int, float]] = []
+        objects: Dict[int, FuzzyObject] = {}
+        for shard in self._sharded._shards:
+            with shard.lock.read():
+                shard_matches, shard_objects = shard.db._range.collect(
+                    prepared, radius, use_improved_bounds=use_improved_bounds
+                )
+            matches.extend(shard_matches)
+            objects.update(shard_objects)
+        matches.sort(key=lambda pair: (pair[1], pair[0]))
+        return matches, objects
+
+
+class _FederatedRKNNSearcher(RKNNSearcher):
+    """The stock RKNN sweep running on federated sub-query building blocks.
+
+    Every index-backed primitive the four method variants touch — the AKNN
+    call fixing radii, the range search collecting candidates, and the store
+    probes materialising distance profiles — is swapped for its globally
+    correct fan-out equivalent; the sweep logic itself is inherited verbatim,
+    so qualifying ranges match the single-tree searcher exactly.
+    """
+
+    def __init__(self, sharded: ShardedDatabase, config: RuntimeConfig):
+        super().__init__(_FederatedStore(sharded), None, config)
+        self.aknn_searcher = _FanoutAKNNAdapter(sharded)
+        self.range_searcher = _FanoutRangeAdapter(sharded)

@@ -4,10 +4,17 @@ The paper's algorithms treat every probe as a disk access; the buffer pool is
 optional (capacity 0 by default in the experiment harness) but provided so
 downstream users can trade memory for I/O, and so tests can exercise the
 difference between logical probes and physical reads.
+
+The cache is thread-safe: the query service's shard pool and the batch
+executor's worker threads share cache instances (the store buffer pool,
+per-object alpha-cut caches, per-node alpha caches), so every mutating
+operation holds an internal lock.  The lock is per-instance and uncontended
+in single-threaded use, where its overhead is a few percent at most.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Generic, Hashable, Optional, TypeVar
 
@@ -23,43 +30,53 @@ class LRUCache(Generic[K, V]):
             raise ValueError("cache capacity must be non-negative")
         self.capacity = capacity
         self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: K) -> Optional[V]:
         """Return the cached value or ``None``, updating recency and stats."""
-        if self.capacity == 0:
-            self.misses += 1
-            return None
-        value = self._entries.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            if self.capacity == 0:
+                self.misses += 1
+                return None
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: K, value: V) -> None:
         """Insert or refresh an entry, evicting the oldest one if needed."""
-        if self.capacity == 0:
-            return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if self.capacity == 0:
+                return
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, key: K) -> bool:
+        """Drop one entry if present; returns whether it was cached."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         """Drop every entry (statistics are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def reset_statistics(self) -> None:
         """Zero the hit/miss/eviction counters."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     @property
     def hit_rate(self) -> float:
@@ -68,7 +85,9 @@ class LRUCache(Generic[K, V]):
         return self.hits / total if total else 0.0
 
     def __contains__(self, key: K) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -35,6 +35,7 @@ class StoreStatistics:
     bytes_read: int = 0
     bytes_written: int = 0
     cache_hits: int = 0
+    deletes: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -43,6 +44,7 @@ class StoreStatistics:
         self.bytes_read = 0
         self.bytes_written = 0
         self.cache_hits = 0
+        self.deletes = 0
 
     def snapshot(self) -> "StoreStatistics":
         """A copy of the current counters."""
@@ -52,6 +54,7 @@ class StoreStatistics:
             bytes_read=self.bytes_read,
             bytes_written=self.bytes_written,
             cache_hits=self.cache_hits,
+            deletes=self.deletes,
         )
 
 
@@ -87,6 +90,10 @@ class ObjectStore:
     ):
         self._path = Path(path) if path is not None else None
         self._cut_cache_capacity = cut_cache_capacity
+        # Ids are never recycled: deleting the highest id must not let a later
+        # ``put`` hand the same id out again, or stale per-id caches (alpha
+        # cuts, distance profiles) would silently apply to the new object.
+        self._id_watermark = 0
         self._slots: Dict[int, _Slot] = {}
         self._memory: Dict[int, bytes] = {}
         self._cache: LRUCache[int, FuzzyObject] = LRUCache(cache_capacity)
@@ -151,10 +158,28 @@ class ObjectStore:
             self._memory[object_id] = payload
             self._slots[object_id] = _Slot(offset=0, length=len(payload))
         self.statistics.bytes_written += len(payload)
+        self._id_watermark = max(self._id_watermark, object_id + 1)
         return object_id
 
     def _next_id(self) -> int:
-        return max(self._slots.keys(), default=-1) + 1
+        return max(self._id_watermark, max(self._slots.keys(), default=-1) + 1)
+
+    def delete(self, object_id: int) -> None:
+        """Remove one object from the store.
+
+        On-disk mode leaves the record bytes dead in the data file (the store
+        is append-only); the slot is dropped so the id can no longer be
+        probed, and any buffered copy is evicted from the cache.  Deleted ids
+        are never reassigned by :meth:`put`.
+        """
+        self._ensure_open()
+        object_id = int(object_id)
+        if object_id not in self._slots:
+            raise ObjectNotFoundError(f"object {object_id} is not in the store")
+        del self._slots[object_id]
+        self._memory.pop(object_id, None)
+        self._cache.invalidate(object_id)
+        self.statistics.deletes += 1
 
     # ------------------------------------------------------------------
     # Reading
@@ -182,8 +207,18 @@ class ObjectStore:
         return obj
 
     def get_many(self, object_ids: Iterable[int]) -> List[FuzzyObject]:
-        """Probe several objects (each counted individually)."""
-        return [self.get(object_id) for object_id in object_ids]
+        """Probe several objects, fetching each distinct id once.
+
+        Duplicate ids in the request are served from the first fetch instead
+        of paying one access (and potentially one physical read) apiece; the
+        returned list still matches the request order element for element.
+        """
+        ids = [int(object_id) for object_id in object_ids]
+        fetched: Dict[int, FuzzyObject] = {}
+        for object_id in ids:
+            if object_id not in fetched:
+                fetched[object_id] = self.get(object_id)
+        return [fetched[object_id] for object_id in ids]
 
     def _read_payload(self, object_id: int) -> bytes:
         slot = self._slots[object_id]
@@ -250,6 +285,16 @@ class ObjectStore:
     # ------------------------------------------------------------------
     # Re-opening an existing store
     # ------------------------------------------------------------------
+    @property
+    def id_watermark(self) -> int:
+        """The smallest id a future :meth:`put` may assign.
+
+        Monotonically increasing and never behind ``max(ids) + 1``; persist
+        it alongside the slot table so the never-recycle-ids guarantee
+        survives a save/reopen even when the highest id was deleted.
+        """
+        return self._next_id()
+
     @classmethod
     def open_existing(
         cls,
@@ -257,8 +302,14 @@ class ObjectStore:
         slot_table: Dict[int, Tuple[int, int]],
         cache_capacity: int = 0,
         cut_cache_capacity: Optional[int] = None,
+        id_watermark: Optional[int] = None,
     ) -> "ObjectStore":
-        """Attach to a previously written data file using its slot table."""
+        """Attach to a previously written data file using its slot table.
+
+        ``id_watermark`` restores the persisted never-recycle bound; when
+        absent (older catalogues) it falls back to ``max(ids) + 1``, which
+        is correct unless the highest id had been deleted before saving.
+        """
         store = cls(
             path=path,
             cache_capacity=cache_capacity,
@@ -268,4 +319,6 @@ class ObjectStore:
             int(oid): _Slot(offset=int(off), length=int(length))
             for oid, (off, length) in slot_table.items()
         }
+        floor = max(store._slots.keys(), default=-1) + 1
+        store._id_watermark = max(floor, int(id_watermark or 0))
         return store

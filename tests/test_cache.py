@@ -79,3 +79,44 @@ class TestLRUCache:
         for i in range(10):
             cache.put(i, i)
         assert len(cache) == 3
+
+
+class TestThreadSafety:
+    def test_concurrent_get_put_clear_is_safe(self):
+        """Hammer one cache from many threads; shared by the shard pool."""
+        import threading
+
+        cache = LRUCache(capacity=16)
+        errors = []
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(2000):
+                    key = (seed * 31 + i) % 64
+                    cache.put(key, key)
+                    value = cache.get(key)
+                    assert value is None or value == key
+                    if i % 500 == 499:
+                        cache.clear()
+                    if i % 97 == 0:
+                        cache.invalidate(key)
+                        assert len(cache) <= 16
+            except Exception as exc:  # noqa: BLE001 - surfaced via assert below
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(cache) <= 16
+        # Every lookup was tallied exactly once despite the contention.
+        assert cache.hits + cache.misses == 8 * 2000
+
+    def test_invalidate(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        assert cache.get("a") is None

@@ -128,3 +128,69 @@ class TestPersistence:
         database.tree._size -= 1
         with pytest.raises(Exception):
             database.validate()
+
+
+class TestRoundTripUnderCustomConfig:
+    def test_save_open_parity_with_non_default_runtime_config(
+        self, objects, rng, tmp_path
+    ):
+        """Queries must agree before save and after reopen when the runtime
+        config is non-default (cache capacities, batch workers, fan-out)."""
+        config = RuntimeConfig(
+            rtree_max_entries=8,
+            cache_capacity=16,
+            alpha_cut_cache_capacity=4,
+            profile_cache_capacity=32,
+            batch_workers=2,
+            upper_bound_samples=4,
+        )
+        database = FuzzyDatabase.build(objects, path=tmp_path / "db", config=config)
+        database.save(tmp_path / "db")
+        query = make_fuzzy_object(rng, center=[5.0, 5.0])
+        queries = [make_fuzzy_object(rng, center=rng.random(2) * 10) for _ in range(5)]
+
+        before_aknn = database.aknn(query, k=6, alpha=0.5)
+        before_batch = database.aknn_batch(queries, k=4, alpha=0.5)
+        before_rknn = database.rknn(query, k=4, alpha_range=(0.3, 0.6))
+        database.close()
+
+        reopened = FuzzyDatabase.open(tmp_path / "db", config=config)
+        assert reopened.config.cache_capacity == 16
+        assert reopened.config.alpha_cut_cache_capacity == 4
+        assert reopened.config.batch_workers == 2
+        reopened.validate()
+
+        after_aknn = reopened.aknn(query, k=6, alpha=0.5)
+        assert set(after_aknn.object_ids) == set(before_aknn.object_ids)
+        after_batch = reopened.aknn_batch(queries, k=4, alpha=0.5)
+        for before, after in zip(before_batch.results, after_batch.results):
+            assert before.object_ids == after.object_ids
+        after_rknn = reopened.rknn(query, k=4, alpha_range=(0.3, 0.6))
+        assert_same_assignments(after_rknn.assignments, before_rknn.assignments)
+        # The buffer pool is live after reopen: repeated probes hit it.
+        reopened.reset_statistics()
+        reopened.get_object(0)
+        reopened.get_object(0)
+        assert reopened.store.statistics.cache_hits >= 1
+        reopened.close()
+
+    def test_saved_default_config_roundtrip_still_queries(self, objects, tmp_path, rng):
+        database = FuzzyDatabase.build(objects, path=tmp_path / "plain")
+        database.save(tmp_path / "plain")
+        database.close()
+        reopened = FuzzyDatabase.open(tmp_path / "plain")
+        result = reopened.aknn(make_fuzzy_object(rng, center=[5.0, 5.0]), k=3, alpha=0.5)
+        assert len(result) == 3
+        reopened.close()
+
+    def test_deleted_ids_stay_retired_across_reopen(self, objects, rng, tmp_path):
+        """The never-recycle-ids guarantee must survive save/open."""
+        database = FuzzyDatabase.build(objects, path=tmp_path / "wm")
+        highest = max(database.object_ids())
+        database.delete(highest)
+        database.save(tmp_path / "wm")
+        database.close()
+        reopened = FuzzyDatabase.open(tmp_path / "wm")
+        new_id = reopened.insert(make_fuzzy_object(rng))
+        assert new_id == highest + 1
+        reopened.close()

@@ -144,3 +144,51 @@ class TestPersistence:
             store.put(make_fuzzy_object(rng, object_id=0))
         with pytest.raises(StorageError):
             store.get(0)
+
+
+class TestGetManyDeduplication:
+    def test_duplicate_ids_fetch_once(self, store, rng):
+        for i in range(4):
+            store.put(make_fuzzy_object(rng, object_id=i))
+        objects = store.get_many([2, 0, 2, 1, 0, 2])
+        assert [o.object_id for o in objects] == [2, 0, 2, 1, 0, 2]
+        # Three distinct ids -> three accesses and three physical reads,
+        # regardless of how often each id repeats in the request.
+        assert store.access_count == 3
+        assert store.statistics.physical_reads == 3
+
+    def test_duplicates_share_the_same_instance(self, store, rng):
+        store.put(make_fuzzy_object(rng, object_id=0))
+        first, second = store.get_many([0, 0])
+        assert first is second
+
+
+class TestDeletion:
+    def test_delete_removes_object(self, store, rng):
+        store.put(make_fuzzy_object(rng, object_id=0))
+        store.put(make_fuzzy_object(rng, object_id=1))
+        store.delete(0)
+        assert len(store) == 1
+        assert 0 not in store
+        with pytest.raises(ObjectNotFoundError):
+            store.get(0)
+        assert store.statistics.deletes == 1
+
+    def test_delete_missing_raises(self, store):
+        with pytest.raises(ObjectNotFoundError):
+            store.delete(5)
+
+    def test_deleted_ids_never_reassigned(self, store, rng):
+        ids = [store.put(make_fuzzy_object(rng)) for _ in range(3)]
+        store.delete(ids[-1])
+        new_id = store.put(make_fuzzy_object(rng))
+        assert new_id == ids[-1] + 1
+
+    def test_delete_evicts_cached_copy(self, rng, tmp_path):
+        store = ObjectStore(path=tmp_path / "del.dat", cache_capacity=4)
+        store.put(make_fuzzy_object(rng, object_id=0))
+        store.get(0)  # populate the buffer pool
+        store.delete(0)
+        with pytest.raises(ObjectNotFoundError):
+            store.get(0)
+        store.close()

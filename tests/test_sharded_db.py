@@ -1,0 +1,222 @@
+"""Parity tests for the sharded database.
+
+The load-bearing property is that partitioning is invisible to results:
+``ShardedDatabase`` must return the same neighbour sets / matches /
+qualifying ranges as the single-tree ``FuzzyDatabase`` over the same
+objects, for every placement policy, shard count and query type — including
+after a mixed insert/delete workload applied to both sides.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.aknn import AKNN_METHODS
+from repro.core.database import FuzzyDatabase
+from repro.datasets.builder import build_dataset
+from repro.datasets.queries import generate_query_object
+from repro.exceptions import InvalidQueryError, ObjectNotFoundError
+from repro.service import ShardedDatabase
+from repro.service.placement import HashPlacement, SpacePlacement, make_placement
+
+from tests.conftest import assert_same_assignments, make_fuzzy_object
+
+SHARD_COUNTS = (2, 3, 5)
+PLACEMENTS = ("hash", "space")
+
+
+@pytest.fixture(scope="module")
+def objects():
+    return build_dataset(
+        kind="synthetic", n_objects=90, points_per_object=24, seed=31, space_size=9.0
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return RuntimeConfig(rtree_max_entries=8, cache_capacity=32)
+
+
+@pytest.fixture(scope="module")
+def reference(objects, config):
+    database = FuzzyDatabase.build(list(objects), config=config)
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(404)
+    return [
+        generate_query_object(rng, kind="synthetic", space_size=9.0, points_per_object=24)
+        for _ in range(4)
+    ]
+
+
+def build_sharded(objects, config, n_shards, placement):
+    return ShardedDatabase.build(
+        list(objects), n_shards=n_shards, placement=placement, config=config
+    )
+
+
+class TestPlacementPolicies:
+    def test_hash_placement_is_deterministic_and_in_range(self):
+        policy = HashPlacement(4)
+        shards = [policy.shard_for(i) for i in range(100)]
+        assert shards == [policy.shard_for(i) for i in range(100)]
+        assert set(shards) == {0, 1, 2, 3}
+
+    def test_space_placement_stripes_the_axis(self):
+        centers = np.linspace(0.0, 10.0, 100).reshape(-1, 1)
+        policy = SpacePlacement.fit(centers, 4)
+        assert policy.shard_for(0, np.array([0.1])) == 0
+        assert policy.shard_for(1, np.array([9.9])) == 3
+        assigned = [policy.shard_for(i, c) for i, c in enumerate(centers)]
+        assert assigned == sorted(assigned)  # monotone along the axis
+
+    def test_space_placement_requires_center(self):
+        policy = SpacePlacement.fit(np.linspace(0, 1, 10).reshape(-1, 1), 2)
+        with pytest.raises(ValueError):
+            policy.shard_for(3, None)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_placement("nope", 2)
+
+    @pytest.mark.parametrize("placement", PLACEMENTS)
+    def test_shards_are_reasonably_balanced(self, objects, config, placement):
+        sharded = build_sharded(objects, config, 3, placement)
+        sizes = sharded.shard_sizes()
+        assert sum(sizes) == len(objects)
+        assert min(sizes) >= len(objects) // 6  # no shard starves
+        sharded.close()
+
+
+class TestQueryParity:
+    @pytest.mark.parametrize("placement", PLACEMENTS)
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("method", AKNN_METHODS)
+    def test_aknn_parity(
+        self, objects, config, reference, queries, placement, n_shards, method
+    ):
+        sharded = build_sharded(objects, config, n_shards, placement)
+        for query in queries:
+            got = sharded.aknn(query, k=7, alpha=0.5, method=method)
+            want = reference.aknn(query, k=7, alpha=0.5, method=method)
+            assert set(got.object_ids) == set(want.object_ids)
+            for neighbor in got.neighbors:
+                assert neighbor.distance is not None  # merge is exact
+        sharded.close()
+
+    @pytest.mark.parametrize("placement", PLACEMENTS)
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_batch_parity(self, objects, config, reference, queries, placement, n_shards):
+        sharded = build_sharded(objects, config, n_shards, placement)
+        batch = sharded.aknn_batch(queries, k=6, alpha=0.45)
+        assert len(batch) == len(queries)
+        for query, result in zip(queries, batch.results):
+            want = reference.aknn(query, k=6, alpha=0.45)
+            assert set(result.object_ids) == set(want.object_ids)
+        sharded.close()
+
+    @pytest.mark.parametrize("placement", PLACEMENTS)
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_range_parity(self, objects, config, reference, queries, placement, n_shards):
+        sharded = build_sharded(objects, config, n_shards, placement)
+        got = sharded.range_search(queries[0], alpha=0.5, radius=1.5)
+        want = reference.range_search(queries[0], alpha=0.5, radius=1.5)
+        assert got.matches == want.matches
+        sharded.close()
+
+    @pytest.mark.parametrize("placement", PLACEMENTS)
+    @pytest.mark.parametrize("method", ("basic", "rss", "rss_icr"))
+    def test_rknn_parity(self, objects, config, reference, queries, placement, method):
+        sharded = build_sharded(objects, config, 3, placement)
+        got = sharded.rknn(queries[1], k=4, alpha_range=(0.3, 0.6), method=method)
+        want = reference.rknn(queries[1], k=4, alpha_range=(0.3, 0.6), method=method)
+        assert_same_assignments(got.assignments, want.assignments)
+        sharded.close()
+
+    def test_k_larger_than_database(self, objects, config, queries):
+        sharded = build_sharded(objects, config, 3, "hash")
+        result = sharded.aknn(queries[0], k=len(objects) + 5, alpha=0.5)
+        assert len(result) == len(objects)
+        sharded.close()
+
+    def test_invalid_arguments_rejected(self, objects, config, queries):
+        sharded = build_sharded(objects, config, 2, "hash")
+        with pytest.raises(InvalidQueryError):
+            sharded.aknn(queries[0], k=0, alpha=0.5)
+        with pytest.raises(InvalidQueryError):
+            sharded.aknn(queries[0], k=3, alpha=0.5, method="nope")
+        sharded.close()
+
+
+class TestLiveWorkloadParity:
+    @pytest.mark.parametrize("placement", PLACEMENTS)
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_mixed_insert_delete_workload(
+        self, objects, config, queries, placement, n_shards
+    ):
+        """Apply one interleaved insert/delete stream to both databases."""
+        rng = np.random.default_rng(77)
+        sharded = build_sharded(objects, config, n_shards, placement)
+        mirror = FuzzyDatabase.build(list(objects), config=config)
+        epoch_before = sharded.epoch
+
+        alive = list(sharded.object_ids())
+        for step in range(25):
+            if step % 3 == 2:
+                victim = alive.pop(int(rng.integers(0, len(alive))))
+                sharded.delete(victim)
+                mirror.delete(victim)
+            else:
+                obj = make_fuzzy_object(rng, center=rng.random(2) * 9.0)
+                new_id = sharded.insert(obj)
+                mirror_id = mirror.insert(obj.with_id(new_id))
+                assert mirror_id == new_id
+                alive.append(new_id)
+        sharded.validate()
+        assert sharded.epoch > epoch_before
+        assert sorted(sharded.object_ids()) == sorted(mirror.object_ids())
+
+        for query in queries[:2]:
+            for method in ("basic", "lb_lp_ub"):
+                got = sharded.aknn(query, k=6, alpha=0.5, method=method)
+                want = mirror.aknn(query, k=6, alpha=0.5, method=method)
+                assert set(got.object_ids) == set(want.object_ids)
+            got_range = sharded.range_search(query, alpha=0.5, radius=1.4)
+            want_range = mirror.range_search(query, alpha=0.5, radius=1.4)
+            assert got_range.matches == want_range.matches
+        got_rknn = sharded.rknn(queries[0], k=4, alpha_range=(0.35, 0.65))
+        want_rknn = mirror.rknn(queries[0], k=4, alpha_range=(0.35, 0.65))
+        assert_same_assignments(got_rknn.assignments, want_rknn.assignments)
+        sharded.close()
+        mirror.close()
+
+    def test_delete_unknown_raises(self, objects, config):
+        sharded = build_sharded(objects, config, 2, "hash")
+        with pytest.raises(ObjectNotFoundError):
+            sharded.delete(99_999)
+        sharded.close()
+
+    def test_duplicate_explicit_id_rejected(self, objects, config, rng):
+        sharded = build_sharded(objects, config, 2, "hash")
+        taken = sharded.object_ids()[0]
+        from repro.exceptions import StorageError
+
+        with pytest.raises(StorageError):
+            sharded.insert(make_fuzzy_object(rng, object_id=taken))
+        sharded.close()
+
+
+class TestTelemetry:
+    def test_fanout_counter_and_stats(self, objects, config, queries):
+        sharded = build_sharded(objects, config, 3, "hash")
+        result = sharded.aknn(queries[0], k=5, alpha=0.5)
+        assert result.stats.extra["shard_fanouts"] == 3.0
+        assert sharded.metrics.get("shard_fanouts") >= 3
+        batch = sharded.aknn_batch(queries, k=5, alpha=0.5)
+        assert batch.stats.extra["shard_fanouts"] == 3.0
+        assert batch.stats.aknn_calls == len(queries)
+        sharded.close()
