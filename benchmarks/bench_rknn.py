@@ -1,0 +1,196 @@
+"""Benchmark: vectorized batch reverse-kNN vs. the looped ``pruned`` path.
+
+Measures reverse AKNN queries (paper-style synthetic dataset, n=5k objects
+by default) through the rebuilt ``method="batch"`` engine — vectorized
+all-pairs candidate filter over the SoA summary arrays plus one shared
+batch-verification traversal — against the looped ``pruned`` path (O(N^2)
+Python filter, one single-query AKNN per candidate), asserts the
+reverse-neighbour sets are identical, and writes the ``BENCH_rknn.json``
+baseline next to this file so the performance trajectory of the reverse
+engine is tracked from PR to PR.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_rknn.py
+    PYTHONPATH=src python benchmarks/bench_rknn.py --quick
+
+``--quick`` shrinks the dataset for CI smoke runs and additionally pins
+three-way parity (``linear`` == ``pruned`` == ``batch``), so a silent
+divergence of the new engine fails the workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy
+
+from repro.config import RuntimeConfig
+from repro.datasets.builder import DatasetBundle
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_rknn.json"
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-objects", type=int, default=5_000)
+    parser.add_argument("--points-per-object", type=int, default=16)
+    parser.add_argument("--n-queries", type=int, default=4)
+    parser.add_argument("--k", type=int, default=8)
+    parser.add_argument("--alpha", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--cache-capacity", type=int, default=4096)
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="repeats of the batch side (the looped side runs once)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny configuration for smoke-testing the harness (adds a "
+        "three-way linear/pruned/batch parity assert)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="exit non-zero when the measured speedup falls below this factor",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=BASELINE_PATH,
+        help="where to write the JSON baseline (default: benchmarks/BENCH_rknn.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n_objects = 300
+        args.points_per_object = 12
+        args.n_queries = 2
+        args.k = 4
+        args.repeats = 1
+    return args
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    config = RuntimeConfig(cache_capacity=args.cache_capacity)
+    print(
+        f"building synthetic dataset: n={args.n_objects}, "
+        f"points/object={args.points_per_object} ...",
+        flush=True,
+    )
+    t0 = time.perf_counter()
+    bundle = DatasetBundle.create(
+        n_objects=args.n_objects,
+        points_per_object=args.points_per_object,
+        seed=args.seed,
+        config=config,
+    )
+    database = bundle.database
+    queries = bundle.queries(args.n_queries)
+    print(f"build took {time.perf_counter() - t0:.1f}s", flush=True)
+
+    # Warm the caching layers (store buffer pool, alpha-cut caches, node
+    # alpha caches, representative index) so both paths run steady-state.
+    database.reverse_aknn(queries[0], k=args.k, alpha=args.alpha, method="batch")
+
+    t0 = time.perf_counter()
+    pruned_results = [
+        database.reverse_aknn(query, k=args.k, alpha=args.alpha, method="pruned")
+        for query in queries
+    ]
+    pruned_seconds = time.perf_counter() - t0
+    print(
+        f"pruned (looped): {pruned_seconds * 1000:8.1f} ms "
+        f"({pruned_seconds / args.n_queries * 1000:.1f} ms/query)",
+        flush=True,
+    )
+
+    batch_seconds = np.inf
+    batch_results = None
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        batch_results = [
+            database.reverse_aknn(query, k=args.k, alpha=args.alpha, method="batch")
+            for query in queries
+        ]
+        batch_seconds = min(batch_seconds, time.perf_counter() - t0)
+
+    for pruned, batch in zip(pruned_results, batch_results):
+        assert pruned.object_ids == batch.object_ids, (
+            "batch reverse engine diverged from the pruned path: "
+            f"{pruned.object_ids} != {batch.object_ids}"
+        )
+    if args.quick:
+        for query, batch in zip(queries, batch_results):
+            linear = database.reverse_aknn(
+                query, k=args.k, alpha=args.alpha, method="linear"
+            )
+            assert linear.object_ids == batch.object_ids, (
+                "batch-vs-linear parity failed: "
+                f"{linear.object_ids} != {batch.object_ids}"
+            )
+        print("three-way parity (linear == pruned == batch) OK")
+
+    # One coalesced bucket amortises the filter matrix across the queries.
+    t0 = time.perf_counter()
+    bucket_results = database.reverse_aknn_batch(queries, k=args.k, alpha=args.alpha)
+    bucket_seconds = time.perf_counter() - t0
+    for batch, bucket in zip(batch_results, bucket_results):
+        assert batch.object_ids == bucket.object_ids
+
+    speedup = pruned_seconds / batch_seconds
+    print(
+        f"batch          : {batch_seconds * 1000:8.1f} ms "
+        f"({batch_seconds / args.n_queries * 1000:.1f} ms/query)"
+    )
+    print(
+        f"batch (bucket) : {bucket_seconds * 1000:8.1f} ms "
+        f"({bucket_seconds / args.n_queries * 1000:.1f} ms/query, "
+        f"one coalesced flush)"
+    )
+    print(f"speedup: {speedup:.2f}x (identical reverse-neighbour sets)")
+
+    baseline = {
+        "benchmark": "bench_rknn",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "params": {
+            "n_objects": args.n_objects,
+            "points_per_object": args.points_per_object,
+            "n_queries": args.n_queries,
+            "k": args.k,
+            "alpha": args.alpha,
+            "cache_capacity": args.cache_capacity,
+            "repeats": args.repeats,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "machine": platform.machine(),
+        },
+        "pruned_seconds": pruned_seconds,
+        "batch_seconds": batch_seconds,
+        "bucket_seconds": bucket_seconds,
+        "speedup": speedup,
+        "batch_stats": {
+            "candidates": [
+                result.stats.extra.get("candidates", 0.0)
+                for result in batch_results
+            ],
+            "reverse_neighbours": [len(result) for result in batch_results],
+        },
+    }
+    args.output.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
+    print(f"baseline written to {args.output}")
+
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below required {args.min_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,10 +6,13 @@ runnable as ``python -m repro.cli``.  Subcommands:
 ``generate``
     Build a dataset, index it, and persist the database to a directory.
 
-``aknn`` / ``rknn``
+``aknn`` / ``rknn`` / ``reverse``
     Run a single query (with a freshly generated query object) against either
     a saved database or an in-memory one generated on the fly, and print the
-    result together with its cost counters.
+    result together with its cost counters.  ``rknn`` is the paper's
+    *alpha-range* kNN sweep; ``reverse`` is the reverse AKNN query
+    (monochromatic semantics — which objects count the query among their own
+    k nearest neighbours).
 
 ``batch``
     Run a batch of AKNN queries through the vectorized batch executor and
@@ -84,12 +87,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=("basic", "lb", "lb_lp", "lb_lp_ub"), default="lb_lp_ub"
     )
 
-    rknn = subparsers.add_parser("rknn", help="run one range kNN query")
+    rknn = subparsers.add_parser(
+        "rknn",
+        help="run one alpha-range kNN query (threshold sweep; NOT reverse kNN)",
+        description=(
+            "Run the paper's Range kNN query (Definition 5): sweep the "
+            "probability threshold over [--alpha-start, --alpha-end] and "
+            "report, per qualifying object, the sub-ranges in which it is "
+            "among the query's k nearest neighbours.  Despite the shared "
+            "initialism, this is not a reverse kNN query — use the "
+            "'reverse' subcommand for that."
+        ),
+    )
     _add_query_arguments(rknn)
     rknn.add_argument("--alpha-start", type=float, default=0.4)
     rknn.add_argument("--alpha-end", type=float, default=0.6)
     rknn.add_argument(
         "--method", choices=("naive", "basic", "rss", "rss_icr"), default="rss_icr"
+    )
+
+    reverse = subparsers.add_parser(
+        "reverse",
+        help="run one reverse kNN query (who counts the query among their k-NN)",
+        description=(
+            "Run a reverse AKNN query with monochromatic semantics: every "
+            "dataset object A is returned iff the query object would be among "
+            "A's k nearest neighbours at threshold --alpha, where A's "
+            "neighbours are drawn from the dataset without A itself, plus the "
+            "query.  Methods: 'linear' verifies every object exhaustively; "
+            "'pruned' filters candidates through the summary bounds, then "
+            "verifies each with one single-query AKNN; 'batch' (default) "
+            "evaluates the filter as vectorized all-pairs matrices over the "
+            "SoA summary arrays and verifies every surviving candidate "
+            "through one shared batch traversal.  All methods return "
+            "identical reverse-neighbour sets."
+        ),
+    )
+    _add_query_arguments(reverse)
+    reverse.add_argument("--alpha", type=float, default=0.5)
+    reverse.add_argument(
+        "--method", choices=("linear", "pruned", "batch"), default="batch"
     )
 
     batch = subparsers.add_parser(
@@ -294,6 +331,34 @@ def _command_rknn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_reverse(args: argparse.Namespace) -> int:
+    database = _load_or_build_database(args)
+    rng = np.random.default_rng(args.query_seed)
+    query = generate_query_object(
+        rng, kind=args.kind, space_size=args.space_size,
+        points_per_object=args.points_per_object,
+    )
+    result = database.reverse_aknn(
+        query, k=args.k, alpha=args.alpha, method=args.method
+    )
+    print(
+        f"REVERSE AKNN(k={args.k}, alpha={args.alpha}, method={args.method}): "
+        f"{len(result)} reverse neighbours"
+    )
+    for object_id in result.object_ids:
+        print(f"  object {object_id:>6}  distance {result.distances[object_id]:.4f}")
+    print(
+        f"cost: {result.stats.object_accesses} object accesses, "
+        f"{result.stats.node_accesses} node accesses, "
+        f"{int(result.stats.extra.get('candidates', 0.0))} candidates, "
+        f"{result.stats.elapsed_seconds:.3f}s"
+    )
+    if args.stats:
+        _print_stats_details(database, result.stats)
+    database.close()
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     import threading
     import time
@@ -428,6 +493,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _command_generate,
         "aknn": _command_aknn,
         "rknn": _command_rknn,
+        "reverse": _command_reverse,
         "batch": _command_batch,
         "serve": _command_serve,
         "experiment": _command_experiment,

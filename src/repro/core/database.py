@@ -30,6 +30,7 @@ from repro.core.executor import BatchQueryExecutor
 from repro.core.linear_scan import LinearScanSearcher
 from repro.core.range_search import AlphaRangeSearcher
 from repro.core.results import AKNNResult, BatchResult, RangeSearchResult, RKNNResult
+from repro.core.reverse_nn import ReverseAKNNSearcher, ReverseKNNResult
 from repro.core.rknn import RKNNSearcher
 from repro.exceptions import ObjectNotFoundError, StorageError
 from repro.fuzzy.fuzzy_object import FuzzyObject
@@ -62,6 +63,9 @@ class FuzzyDatabase:
         self._range = AlphaRangeSearcher(store, tree, self.config)
         self._linear = LinearScanSearcher(store, self.config)
         self._executor = BatchQueryExecutor(store, tree, self.config)
+        self._reverse = ReverseAKNNSearcher(
+            store, tree, self.config, executor=self._executor
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -212,12 +216,33 @@ class FuzzyDatabase:
         alpha: float,
         method: str = "pruned",
         rng: Optional[np.random.Generator] = None,
-    ):
-        """Reverse AKNN query: objects that count ``query`` among their k nearest."""
-        from repro.core.reverse_nn import ReverseAKNNSearcher
+    ) -> ReverseKNNResult:
+        """Reverse AKNN query: objects that count ``query`` among their k nearest.
 
-        searcher = ReverseAKNNSearcher(self.store, self.tree, self.config)
-        return searcher.search(query, k, alpha, method=method, rng=rng)
+        ``method`` selects ``"linear"`` (exhaustive verification),
+        ``"pruned"`` (summary filter, then one single-query AKNN per
+        candidate) or ``"batch"`` (vectorized all-pairs filter, then one
+        shared batch traversal verifying every candidate; see
+        :mod:`repro.core.reverse_nn`).  All three return identical
+        reverse-neighbour sets.
+        """
+        return self._reverse.search(query, k, alpha, method=method, rng=rng)
+
+    def reverse_aknn_batch(
+        self,
+        queries: Iterable[FuzzyObject],
+        k: int,
+        alpha: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[ReverseKNNResult]:
+        """Answer a bucket of reverse AKNN queries sharing ``(k, alpha)``.
+
+        The whole bucket shares the vectorized candidate filter's all-pairs
+        MaxDist matrix and one batch traversal verifying the union of every
+        query's candidates; results are identical to calling
+        :meth:`reverse_aknn` per query.
+        """
+        return self._reverse.search_batch(list(queries), k, alpha, rng=rng)
 
     def distance_join(
         self,
@@ -252,9 +277,11 @@ class FuzzyDatabase:
         the R-tree (Guttman insertion with quadratic splits).  The next query
         sees it immediately; derived caches (the batch executor's
         representative index, node SoA views) refresh themselves through the
-        tree's mutation counter and incremental SoA maintenance.
+        tree's mutation counter and incremental SoA maintenance.  Geometry is
+        revalidated first (non-finite points would poison MBRs and distance
+        evaluations) before any store or index state is touched.
         """
-        object_id = self.store.put(obj)
+        object_id = self.store.put(obj.require_finite())
         if obj.object_id is None:
             obj = obj.with_id(object_id)
         summary = build_summary(obj, rng=rng)

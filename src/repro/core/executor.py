@@ -146,16 +146,24 @@ class BatchQueryExecutor:
         thread count for the refinement phase (``None`` uses
         ``config.batch_workers``).
 
-        ``initial_tau`` is an optional per-query pruning radius that must be
-        a valid upper bound on each query's true k-th neighbour distance over
-        the caller's *whole* dataset.  When given, the local KD-tree
-        bootstrap is skipped and the traversal prunes against these radii
-        directly — the sharded database passes one globally-bootstrapped
-        radius to every shard, which keeps per-shard candidate sets as tight
-        as the unsharded ones.  ``initial_exact`` optionally seeds each
-        query's exact-distance memo (one dict per query) so distances the
-        caller already evaluated — e.g. for the bootstrap nominees — are not
-        recomputed during refinement.
+        ``initial_tau`` is an optional per-query pruning radius.  When
+        given, the local KD-tree bootstrap is skipped and the traversal
+        prunes against these radii directly.  The returned neighbour lists
+        are complete only *up to the supplied radius*: every object whose
+        exact distance is at most a query's radius is considered, anything
+        beyond it may be dropped.  A radius that upper-bounds the query's
+        true k-th neighbour distance therefore yields the full exact top-k
+        (the sharded database passes one globally-bootstrapped radius to
+        every shard, which keeps per-shard candidate sets as tight as the
+        unsharded ones); a deliberately smaller radius yields a truncated
+        list — the reverse-kNN engine exploits this with
+        ``tau = d_alpha(A, Q)``, whose truncation provably preserves the
+        membership decision (see
+        :func:`repro.core.reverse_nn.membership_from_neighbors`) but would
+        NOT be a valid top-k answer on its own.  ``initial_exact``
+        optionally seeds each query's exact-distance memo (one dict per
+        query) so distances the caller already evaluated — e.g. for the
+        bootstrap nominees — are not recomputed during refinement.
         """
         if k <= 0:
             raise InvalidQueryError(f"k must be positive, got {k}")

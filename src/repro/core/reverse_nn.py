@@ -6,7 +6,7 @@ Given a query fuzzy object ``Q``, a threshold ``alpha`` and a result size
 semantics: ``A``'s neighbours are drawn from the dataset without ``A`` itself,
 plus ``Q``).
 
-Two strategies are provided:
+Three strategies are provided:
 
 ``linear``
     For every object ``A``: evaluate ``d_alpha(A, Q)`` and count how many
@@ -19,17 +19,41 @@ Two strategies are provided:
     ``k`` objects have a *lower bound* below ``A``'s *upper bound* to ``Q``,
     both of which are computed from the in-memory summaries without touching
     the store.  Only surviving candidates pay the exact verification.
+
+``batch``
+    The same filter-then-verify plan rebuilt on the batch engine.  The
+    filter evaluates the all-pairs disqualification test — ``A`` is out once
+    ``k`` objects have ``MaxDist(M_A(alpha)*, M_B(alpha)*)`` below
+    ``MinDist(M_A(alpha)*, M_Q(alpha))`` — as chunked NumPy matrices over
+    the ``(N, d)`` Equation-2 box arrays gathered straight from the leaf SoA
+    views, instead of the O(N^2) Python double loop.  Verification then
+    answers every surviving candidate's (k+1)-NN through **one** shared
+    :meth:`~repro.core.executor.BatchQueryExecutor.aknn_batch` traversal:
+    each candidate's exact distance to ``Q`` doubles as an externally
+    bootstrapped pruning radius (any object at or beyond ``d_alpha(A, Q)``
+    can never be strictly closer to ``A`` than ``Q``, so truncating the
+    traversal there preserves the membership decision), and every distinct
+    object is fetched from the store once for the whole batch.
+
+:meth:`ReverseAKNNSearcher.search_batch` extends the ``batch`` plan to a
+*bucket* of reverse queries sharing ``(k, alpha)``: the MaxDist matrix of
+the filter is query-independent, so the whole bucket pays for it once, and
+the union of every query's surviving candidates is verified through a single
+shared traversal (per-candidate radii take the maximum over the bucket,
+which keeps each per-query decision exact).  The query service's coalescer
+flushes reverse submissions through this path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.config import RuntimeConfig
 from repro.core.aknn import AKNNSearcher
+from repro.core.executor import BatchQueryExecutor, _exact_min_distances
 from repro.core.query import PreparedQuery
 from repro.core.results import QueryStats
 from repro.exceptions import InvalidQueryError
@@ -37,11 +61,143 @@ from repro.fuzzy.alpha_distance import alpha_distance_points
 from repro.fuzzy.fuzzy_object import FuzzyObject
 from repro.geometry.mbr import max_dist, min_dist
 from repro.index.rtree import RTree
+from repro.index.soa import certainly_closer_counts, min_dist_to_boxes
 from repro.metrics.counters import MetricsCollector
 from repro.metrics.timer import Timer
 from repro.storage.object_store import ObjectStore
 
-REVERSE_METHODS: Tuple[str, ...] = ("linear", "pruned")
+REVERSE_METHODS: Tuple[str, ...] = ("linear", "pruned", "batch")
+
+
+def membership_from_neighbors(
+    neighbors, candidate_id: int, distance_to_query: float, k: int
+) -> bool:
+    """Decide reverse-neighbour membership from a (k+1)-NN answer.
+
+    ``Q`` is among the candidate's k nearest neighbours iff fewer than ``k``
+    dataset objects other than the candidate itself are strictly closer to it
+    than ``Q``.  Any valid top-(k+1) list over a candidate set truncated at
+    ``distance_to_query`` suffices: when fewer than ``k`` objects are closer,
+    all of them (plus the candidate at distance zero) outrank everything at
+    or beyond ``distance_to_query`` and appear in the list; when at least
+    ``k`` are, the list fills with closer objects, of which at most one entry
+    is the candidate itself.
+    """
+    closer = 0
+    for neighbor in neighbors:
+        if neighbor.object_id == candidate_id:
+            continue
+        if neighbor.distance < distance_to_query:
+            closer += 1
+            if closer >= k:
+                return False
+    return True
+
+
+def bucket_candidate_distances(
+    prepared: Sequence[PreparedQuery],
+    masks: np.ndarray,
+    union: np.ndarray,
+    cand_cuts: Sequence[np.ndarray],
+    metrics: Optional[MetricsCollector] = None,
+) -> Tuple[List[np.ndarray], List[np.ndarray], np.ndarray]:
+    """Exact per-query candidate distances plus the bucket's shared radii.
+
+    For each query, the columns (positions within ``union``) of its surviving
+    candidates and their exact ``d_alpha(A, Q)`` values; ``tau`` is the
+    per-candidate maximum over the bucket, the valid truncation radius for
+    the shared verification traversal (see :func:`membership_from_neighbors`).
+    """
+    per_query_cols: List[np.ndarray] = []
+    per_query_dists: List[np.ndarray] = []
+    tau = np.zeros(union.shape[0])
+    for qi, query in enumerate(prepared):
+        cols = np.flatnonzero(masks[qi][union])
+        if cols.shape[0]:
+            dists = _exact_min_distances(
+                query.query_cut, [cand_cuts[j] for j in cols]
+            )
+            if metrics is not None:
+                metrics.increment(
+                    MetricsCollector.DISTANCE_EVALUATIONS, int(cols.shape[0])
+                )
+            np.maximum.at(tau, cols, dists)
+        else:
+            dists = np.empty(0)
+        per_query_cols.append(cols)
+        per_query_dists.append(dists)
+    return per_query_cols, per_query_dists, tau
+
+
+def build_bucket_results(
+    k: int,
+    alpha: float,
+    method: str,
+    elapsed: float,
+    masks: np.ndarray,
+    memberships: Sequence[List[int]],
+    distance_maps: Sequence[Dict[int, float]],
+    probes: Sequence[int],
+    totals: Dict[str, int],
+    extra_common: Dict[str, float],
+) -> List["ReverseKNNResult"]:
+    """Per-query results with per-query-honest cost attribution.
+
+    Most of a bucket's work (filter matrix, shared traversal, store fetches)
+    is paid once and cannot be attributed to one query, so per-result scalar
+    counters charge each query only its own exact candidate probes
+    (``probes``), with the bucket totals (``totals``, keyed by QueryStats
+    field name) reported under ``extra["bucket_<name>"]``.  A bucket of one
+    query owns every cost, so its scalars carry the full totals.  Both the
+    unsharded and the sharded engine assemble their answers through this
+    helper, keeping the two telemetry schemes identical.
+    """
+    single = len(memberships) == 1
+    results: List[ReverseKNNResult] = []
+    for qi in range(len(memberships)):
+        extra = dict(extra_common)
+        extra["candidates"] = float(int(masks[qi].sum()))
+        for name, value in totals.items():
+            extra[f"bucket_{name}"] = float(value)
+        scalars = {name: (value if single else 0) for name, value in totals.items()}
+        if not single:
+            scalars["distance_evaluations"] = probes[qi]
+        stats = QueryStats(elapsed_seconds=elapsed, extra=extra, **scalars)
+        results.append(
+            ReverseKNNResult(
+                object_ids=sorted(memberships[qi]),
+                distances=distance_maps[qi],
+                k=k,
+                alpha=alpha,
+                method=method,
+                stats=stats,
+            )
+        )
+    return results
+
+
+def collect_memberships(
+    k: int,
+    cand_ids: Sequence[int],
+    neighbor_lists: Sequence[Sequence],
+    per_query_cols: Sequence[np.ndarray],
+    per_query_dists: Sequence[np.ndarray],
+) -> Tuple[List[List[int]], List[Dict[int, float]]]:
+    """Per-query reverse-neighbour sets from the verified (k+1)-NN lists."""
+    memberships: List[List[int]] = []
+    distances: List[Dict[int, float]] = []
+    for cols, dists in zip(per_query_cols, per_query_dists):
+        object_ids: List[int] = []
+        by_id: Dict[int, float] = {}
+        for col, distance_to_query in zip(cols.tolist(), dists.tolist()):
+            if membership_from_neighbors(
+                neighbor_lists[col], cand_ids[col], distance_to_query, k
+            ):
+                object_ids.append(cand_ids[col])
+                by_id[cand_ids[col]] = distance_to_query
+        memberships.append(object_ids)
+        distances.append(by_id)
+    return memberships, distances
 
 
 @dataclass
@@ -67,11 +223,15 @@ class ReverseAKNNSearcher:
         store: ObjectStore,
         tree: RTree,
         config: Optional[RuntimeConfig] = None,
+        executor: Optional[BatchQueryExecutor] = None,
     ):
         self.store = store
         self.tree = tree
         self.config = (config or RuntimeConfig()).validate()
         self.aknn = AKNNSearcher(store, tree, self.config)
+        # The batch method verifies through a shared executor; passing the
+        # database's own instance reuses its representative-index cache.
+        self.executor = executor or BatchQueryExecutor(store, tree, self.config)
 
     # ------------------------------------------------------------------
     # Public API
@@ -93,6 +253,8 @@ class ReverseAKNNSearcher:
             raise InvalidQueryError(
                 f"unknown reverse-kNN method {method!r}; expected one of {REVERSE_METHODS}"
             )
+        if method == "batch":
+            return self.search_batch([query], k, alpha, rng=rng)[0]
         metrics = MetricsCollector()
         before = self.store.statistics.snapshot()
         timer = Timer().start()
@@ -210,3 +372,164 @@ class ReverseAKNNSearcher:
                 results.append(object_id)
                 distances[object_id] = distance_to_query
         return results, distances
+
+    # ------------------------------------------------------------------
+    # Vectorized batch engine
+    # ------------------------------------------------------------------
+    def search_batch(
+        self,
+        queries: Sequence[FuzzyObject],
+        k: int,
+        alpha: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List["ReverseKNNResult"]:
+        """Answer a bucket of reverse AKNN queries sharing ``(k, alpha)``.
+
+        Runs the ``batch`` plan described in the module docstring: one
+        vectorized all-pairs filter (its MaxDist matrix shared by the whole
+        bucket), then one shared ``aknn_batch`` traversal verifying the union
+        of every query's surviving candidates.  Returns one result per query,
+        identical to the ``linear`` / ``pruned`` answers.
+        """
+        if k <= 0:
+            raise InvalidQueryError(f"k must be positive, got {k}")
+        if not 0.0 < alpha <= 1.0:
+            raise InvalidQueryError(f"alpha must be in (0, 1], got {alpha}")
+        queries = list(queries)
+        if not queries:
+            return []
+        metrics = MetricsCollector()
+        before = self.store.statistics.snapshot()
+        timer = Timer().start()
+
+        prepared = [
+            PreparedQuery(query, alpha, self.config, rng, metrics)
+            for query in queries
+        ]
+        ids, box_lo, box_hi = self.tree.leaf_alpha_bounds(alpha)
+        masks = self._filter_batch(prepared, k, ids, box_lo, box_hi, metrics)
+        memberships, distances, probes = self._verify_batch(
+            prepared, k, alpha, ids, masks, metrics, rng
+        )
+
+        elapsed = timer.stop()
+        accesses = self.store.statistics.object_accesses - before.object_accesses
+        return build_bucket_results(
+            k,
+            alpha,
+            "batch",
+            elapsed,
+            masks,
+            memberships,
+            distances,
+            probes,
+            totals={
+                "object_accesses": accesses,
+                "node_accesses": metrics.get(MetricsCollector.NODE_ACCESSES),
+                "distance_evaluations": metrics.get(
+                    MetricsCollector.DISTANCE_EVALUATIONS
+                ),
+                "lower_bound_evaluations": metrics.get(
+                    MetricsCollector.LOWER_BOUND_EVALUATIONS
+                ),
+                "upper_bound_evaluations": metrics.get(
+                    MetricsCollector.UPPER_BOUND_EVALUATIONS
+                ),
+            },
+            extra_common={
+                "batch_reverse_queries": float(len(queries)),
+                "reverse_candidates": float(
+                    metrics.get(MetricsCollector.REVERSE_CANDIDATES)
+                ),
+            },
+        )
+
+    def _filter_batch(
+        self,
+        prepared: List[PreparedQuery],
+        k: int,
+        ids: np.ndarray,
+        box_lo: np.ndarray,
+        box_hi: np.ndarray,
+        metrics: MetricsCollector,
+    ) -> np.ndarray:
+        """Per-query candidate masks from the vectorized all-pairs filter.
+
+        Row ``A`` of query ``q`` survives while fewer than ``k`` boxes have
+        ``MaxDist(M_A*, M_B*) < MinDist(M_A*, M_Q(alpha))`` — the same
+        conservative test as the ``pruned`` loop, evaluated as chunked
+        matrices.  Returns a ``(Q, N)`` boolean mask.
+        """
+        n = ids.shape[0]
+        if n == 0:
+            return np.zeros((len(prepared), 0), dtype=bool)
+        thresholds = min_dist_to_boxes(
+            np.stack([p.query_mbr.lower for p in prepared]),
+            np.stack([p.query_mbr.upper for p in prepared]),
+            box_lo,
+            box_hi,
+        )
+        counts = certainly_closer_counts(
+            box_lo, box_hi, box_lo, box_hi, thresholds, self_index=np.arange(n)
+        )
+        metrics.increment(
+            MetricsCollector.LOWER_BOUND_EVALUATIONS, len(prepared) * n + n * n
+        )
+        return counts < k
+
+    def _verify_batch(
+        self,
+        prepared: List[PreparedQuery],
+        k: int,
+        alpha: float,
+        ids: np.ndarray,
+        masks: np.ndarray,
+        metrics: MetricsCollector,
+        rng: Optional[np.random.Generator],
+    ) -> Tuple[List[List[int]], List[Dict[int, float]], List[int]]:
+        """Verify the union of surviving candidates in one shared traversal.
+
+        Returns per-query memberships and distance maps plus the number of
+        exact candidate probes each query paid (its attributable cost share).
+        """
+        union = np.flatnonzero(masks.any(axis=0))
+        if union.shape[0] == 0:
+            n_queries = len(prepared)
+            return (
+                [[] for _ in range(n_queries)],
+                [dict() for _ in range(n_queries)],
+                [0] * n_queries,
+            )
+        cand_ids = [int(ids[j]) for j in union]
+        cand_objs = [self.store.get(object_id) for object_id in cand_ids]
+        cand_cuts = [obj.alpha_cut(alpha) for obj in cand_objs]
+
+        # d_alpha(A, Q) per (query, its candidates); the per-candidate radius
+        # handed to the executor is the maximum over the bucket, which keeps
+        # every query's truncated decision exact (see membership_from_neighbors).
+        per_query_cols, per_query_dists, tau = bucket_candidate_distances(
+            prepared, masks, union, cand_cuts, metrics
+        )
+        batch = self.executor.aknn_batch(
+            cand_objs,
+            k + 1,
+            alpha,
+            rng=rng,
+            initial_tau=tau,
+            initial_exact=[{object_id: 0.0} for object_id in cand_ids],
+        )
+        metrics.increment(MetricsCollector.REVERSE_CANDIDATES, len(cand_ids))
+        metrics.increment(
+            MetricsCollector.NODE_ACCESSES, batch.stats.node_accesses
+        )
+        metrics.increment(
+            MetricsCollector.DISTANCE_EVALUATIONS, batch.stats.distance_evaluations
+        )
+        memberships, distances = collect_memberships(
+            k,
+            cand_ids,
+            [result.neighbors for result in batch.results],
+            per_query_cols,
+            per_query_dists,
+        )
+        return memberships, distances, [int(cols.shape[0]) for cols in per_query_cols]

@@ -131,6 +131,21 @@ class FuzzyObject:
         """Degenerate object consisting of one fully-certain point."""
         return cls.crisp(np.asarray(point, dtype=float).reshape(1, -1), object_id)
 
+    def require_finite(self) -> "FuzzyObject":
+        """Re-assert point finiteness; returns ``self`` for chaining.
+
+        Construction already rejects non-finite points, so this only guards
+        against post-construction mutation of :attr:`points` — the insert
+        paths call it before any index or owner-map state is touched, since
+        a NaN coordinate would otherwise poison MBRs, placement routing and
+        distance evaluations.
+        """
+        if not np.all(np.isfinite(self.points)):
+            raise InvalidFuzzyObjectError(
+                f"object {self.object_id!r} has non-finite points"
+            )
+        return self
+
     def with_id(self, object_id: int) -> "FuzzyObject":
         """Copy of this object carrying ``object_id``."""
         clone = FuzzyObject(

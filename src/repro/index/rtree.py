@@ -353,6 +353,43 @@ class RTree:
             else:
                 stack.extend(entry.child for entry in node.entries)  # type: ignore[union-attr]
 
+    def leaf_alpha_bounds(
+        self, alpha: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``M_A(alpha)*`` (Equation 2) of every data entry, as flat arrays.
+
+        Returns ``(object_ids, lower, upper)`` — an ``(N,)`` id array aligned
+        with ``(N, d)`` lo/hi matrices of the approximated alpha-cut MBRs,
+        assembled leaf by leaf from the nodes' SoA views so each leaf's
+        Equation-2 reconstruction is computed once per (node, alpha) and
+        shared through its per-alpha cache.  An empty tree yields
+        ``(0,)`` / ``(0, 0)``-shaped arrays.
+        """
+        if self._size == 0:
+            empty = np.empty((0, 0))
+            return np.empty(0, dtype=np.int64), empty, empty
+        ids: List[np.ndarray] = []
+        lowers: List[np.ndarray] = []
+        uppers: List[np.ndarray] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                if not node.entries:
+                    continue
+                soa = node.soa()
+                lower, upper = soa.approx_alpha_bounds(alpha)
+                ids.append(soa.object_ids)
+                lowers.append(lower)
+                uppers.append(upper)
+            else:
+                stack.extend(entry.child for entry in node.entries)
+        return (
+            np.concatenate(ids),
+            np.concatenate(lowers),
+            np.concatenate(uppers),
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -26,7 +26,7 @@ so vectorized and per-entry evaluation agree to the last bit.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -75,6 +75,58 @@ def max_dist_to_boxes(
         np.abs(lower - query_upper[..., None, :]),
     )
     return np.sqrt(np.einsum("...nd,...nd->...n", span, span))
+
+
+# Element budget of one (rows, N) MaxDist block in the all-pairs reverse-kNN
+# filter kernel; bounds peak memory at a few megabytes regardless of N.
+_PAIRWISE_BLOCK_ELEMENTS = 1_048_576
+
+
+def certainly_closer_counts(
+    row_lower: np.ndarray,
+    row_upper: np.ndarray,
+    all_lower: np.ndarray,
+    all_upper: np.ndarray,
+    thresholds: np.ndarray,
+    self_index: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-row counts of boxes whose ``MaxDist`` beats the row's threshold.
+
+    For every row box ``i`` (``row_lower``/``row_upper``, shape ``(m, d)``)
+    and every box ``j`` of the full set (``all_lower``/``all_upper``, shape
+    ``(N, d)``), the pair is counted when ``MaxDist(row_i, box_j) <
+    thresholds[..., i]`` — the all-pairs disqualification test of the reverse
+    AKNN candidate filter, evaluated as chunked ``(rows, N)`` matrices so the
+    peak temporary stays bounded for any ``N``.
+
+    ``thresholds`` is ``(m,)`` for one query or ``(Q, m)`` for a batch of
+    queries sharing the same boxes (the MaxDist matrix is query-independent,
+    so a whole coalesced bucket pays for it once); the result has the same
+    leading shape.  ``self_index`` gives each row's position within the full
+    box set so the row's pairing with itself is excluded from its count.
+    """
+    thresholds = np.asarray(thresholds, dtype=float)
+    single = thresholds.ndim == 1
+    if single:
+        thresholds = thresholds[None, :]
+    m = row_lower.shape[0]
+    n = all_lower.shape[0]
+    counts = np.zeros((thresholds.shape[0], m), dtype=np.int64)
+    # The (Q, rows, N) comparison temp is the peak allocation, so the row
+    # budget divides by the query count as well as the box count.
+    chunk = max(1, _PAIRWISE_BLOCK_ELEMENTS // max(1, n * thresholds.shape[0]))
+    for start in range(0, m, chunk):
+        stop = min(m, start + chunk)
+        md = max_dist_to_boxes(
+            row_lower[start:stop], row_upper[start:stop], all_lower, all_upper
+        )
+        block = thresholds[:, start:stop]
+        counts[:, start:stop] = (md[None, :, :] < block[:, :, None]).sum(axis=2)
+        if self_index is not None:
+            rows = np.arange(start, stop)
+            self_md = md[rows - start, self_index[start:stop]]
+            counts[:, start:stop] -= self_md[None, :] < block
+    return counts[0] if single else counts
 
 
 def rep_to_samples_distances(reps: np.ndarray, samples: np.ndarray) -> np.ndarray:

@@ -37,6 +37,10 @@ class MetricsCollector:
     SHARD_FANOUTS = "shard_fanouts"
     COALESCED_BATCHES = "coalesced_batches"
     COALESCED_QUERIES = "coalesced_queries"
+    # Reverse-AKNN engine accounting: queries answered through the vectorized
+    # batch path and the candidates that survived its all-pairs filter.
+    REVERSE_QUERIES = "reverse_queries"
+    REVERSE_CANDIDATES = "reverse_candidates"
     SHED_REQUESTS = "shed_requests"
     LIVE_INSERTS = "live_inserts"
     LIVE_DELETES = "live_deletes"

@@ -86,10 +86,20 @@ class SpacePlacement:
         return cls(np.quantile(xs, quantiles))
 
     def shard_for(self, object_id: int, center: Optional[np.ndarray] = None) -> int:
-        """Owning shard for an object centred at ``center``."""
+        """Owning shard for an object centred at ``center``.
+
+        Non-finite centres are rejected: ``searchsorted`` would silently
+        route a NaN (or +inf) coordinate to the last shard, which corrupts
+        spatial locality and hides the bad geometry instead of surfacing it.
+        """
         if center is None:
             raise ValueError("space placement requires the object's centre")
         x = float(np.asarray(center, dtype=float).reshape(-1)[0])
+        if not np.isfinite(x):
+            raise ValueError(
+                f"space placement requires a finite centre coordinate, got {x!r} "
+                f"for object {object_id}"
+            )
         return int(np.searchsorted(self.boundaries, x, side="right"))
 
     def to_dict(self) -> Dict[str, object]:

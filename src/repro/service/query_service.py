@@ -6,7 +6,11 @@ behind the scenes a coalescer groups compatible requests — same
 ``(k, alpha, method)`` — into buckets and flushes each bucket through
 ``aknn_batch`` when it either reaches ``coalesce_max_batch`` requests or its
 oldest request has waited ``coalesce_window_ms`` milliseconds.  One shared
-R-tree traversal then answers the whole bucket.
+R-tree traversal then answers the whole bucket.  Reverse AKNN submissions
+(:meth:`QueryService.submit_reverse`) coalesce the same way into
+``(k, alpha)`` buckets flushed through ``reverse_aknn_batch``, which shares
+the candidate filter's all-pairs matrix and one verification traversal
+across the bucket.
 
 Admission control bounds the number of requests waiting across all buckets
 (``service_queue_depth``); submissions beyond the bound fail fast with
@@ -34,11 +38,14 @@ import numpy as np
 
 from repro.config import RuntimeConfig
 from repro.core.results import AKNNResult
+from repro.core.reverse_nn import ReverseKNNResult
 from repro.exceptions import ServiceOverloadedError, ServiceStoppedError
 from repro.fuzzy.fuzzy_object import FuzzyObject
 from repro.metrics.counters import MetricsCollector, SharedMetricsCollector
 
-_BucketKey = Tuple[int, float, str]
+# (request kind, k, alpha, method): "aknn" buckets flush through aknn_batch,
+# "reverse" buckets through reverse_aknn_batch.
+_BucketKey = Tuple[str, int, float, str]
 
 
 class _Request:
@@ -211,7 +218,27 @@ class QueryService:
         Raises :class:`ServiceOverloadedError` when the queue is full and
         :class:`ServiceStoppedError` when the service is not running.
         """
-        key: _BucketKey = (int(k), float(alpha), str(method))
+        key: _BucketKey = ("aknn", int(k), float(alpha), str(method))
+        return self._enqueue(key, query)
+
+    def submit_reverse(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+    ) -> "Future[ReverseKNNResult]":
+        """Enqueue one reverse AKNN request; returns a future for its result.
+
+        Reverse submissions sharing ``(k, alpha)`` coalesce into one bucket
+        flushed through the database's ``reverse_aknn_batch`` — the bucket
+        shares the vectorized candidate filter's all-pairs MaxDist matrix
+        and one batch-verification traversal.  Admission control and
+        latency telemetry are shared with the AKNN path.
+        """
+        key: _BucketKey = ("reverse", int(k), float(alpha), "batch")
+        return self._enqueue(key, query)
+
+    def _enqueue(self, key: _BucketKey, query: FuzzyObject) -> "Future":
         now = time.perf_counter()
         request = _Request(query, now)
         with self._cv:
@@ -243,6 +270,16 @@ class QueryService:
     ) -> AKNNResult:
         """Synchronous convenience wrapper around :meth:`submit`."""
         return self.submit(query, k, alpha, method=method).result(timeout=timeout)
+
+    def reverse_aknn(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        timeout: Optional[float] = None,
+    ) -> "ReverseKNNResult":
+        """Synchronous convenience wrapper around :meth:`submit_reverse`."""
+        return self.submit_reverse(query, k, alpha).result(timeout=timeout)
 
     # ------------------------------------------------------------------
     # Live updates (forwarded to the database)
@@ -327,10 +364,14 @@ class QueryService:
                 self._execute(bucket)
 
     def _execute(self, bucket: _Bucket) -> None:
-        k, alpha, method = bucket.key
+        kind, k, alpha, method = bucket.key
         queries = [request.query for request in bucket.requests]
         try:
-            batch = self.database.aknn_batch(queries, k, alpha, method=method)
+            if kind == "reverse":
+                results = self.database.reverse_aknn_batch(queries, k, alpha)
+            else:
+                batch = self.database.aknn_batch(queries, k, alpha, method=method)
+                results = batch.results
         except BaseException as exc:  # propagate into the waiting futures
             with self._cv:
                 self._failed += len(bucket.requests)
@@ -348,5 +389,5 @@ class QueryService:
                 self._latencies.append(done - request.submitted_at)
         self.metrics.increment(MetricsCollector.COALESCED_BATCHES)
         self.metrics.increment(MetricsCollector.COALESCED_QUERIES, size)
-        for request, result in zip(bucket.requests, batch.results):
+        for request, result in zip(bucket.requests, results):
             request.future.set_result(result)

@@ -48,10 +48,22 @@ from repro.core.results import (
     RangeSearchResult,
     RKNNResult,
 )
+from repro.core.reverse_nn import (
+    REVERSE_METHODS,
+    ReverseKNNResult,
+    bucket_candidate_distances,
+    build_bucket_results,
+    collect_memberships,
+)
 from repro.core.rknn import RKNNSearcher
-from repro.exceptions import InvalidQueryError, ObjectNotFoundError, StorageError
+from repro.exceptions import (
+    InvalidQueryError,
+    ObjectNotFoundError,
+    StorageError,
+)
 from repro.fuzzy.alpha_distance import alpha_distance
 from repro.fuzzy.fuzzy_object import FuzzyObject
+from repro.index.soa import certainly_closer_counts, min_dist_to_boxes
 from repro.metrics.counters import MetricsCollector, SharedMetricsCollector
 from repro.metrics.timer import Timer
 from repro.service.concurrency import EpochCounter, ReadWriteLock
@@ -440,6 +452,224 @@ class ShardedDatabase:
             query, k, alpha_range, method=method, aknn_method=aknn_method, rng=rng
         )
 
+    def reverse_aknn(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str = "batch",
+        rng: Optional[np.random.Generator] = None,
+    ) -> ReverseKNNResult:
+        """Reverse AKNN over the whole database (sharded fast path).
+
+        See :meth:`reverse_aknn_batch`; ``method`` selects the candidate
+        filter only (``"linear"`` skips it), since every method verifies
+        through the cross-shard batch fan-out and all return identical sets.
+        """
+        return self.reverse_aknn_batch([query], k, alpha, method=method, rng=rng)[0]
+
+    def reverse_aknn_batch(
+        self,
+        queries: Iterable[FuzzyObject],
+        k: int,
+        alpha: float,
+        method: str = "batch",
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[ReverseKNNResult]:
+        """Answer a bucket of reverse AKNN queries sharing ``(k, alpha)``.
+
+        The sharded analogue of
+        :meth:`~repro.core.reverse_nn.ReverseAKNNSearcher.search_batch`:
+
+        1. every shard exports its ``(n_s, d)`` Equation-2 box arrays from
+           the leaf SoA views (one gather, under all shard read locks);
+        2. each shard evaluates the all-pairs disqualification test for *its*
+           rows against the **global** box set in parallel — so candidate
+           sets are exactly as tight as the unsharded filter — and the
+           surviving candidates merge globally;
+        3. every shard verifies the merged candidate list through its batch
+           executor with the globally valid per-candidate radii
+           (``d_alpha(A, Q)``, maximised over the bucket), and per-candidate
+           (k+1)-NN lists merge across shards before the membership count.
+
+        Holding every shard's read lock for the whole pass keeps the radii
+        and the owner snapshot consistent under live updates.
+        """
+        if k <= 0:
+            raise InvalidQueryError(f"k must be positive, got {k}")
+        if not 0.0 < alpha <= 1.0:
+            raise InvalidQueryError(f"alpha must be in (0, 1], got {alpha}")
+        if method not in REVERSE_METHODS:
+            raise InvalidQueryError(
+                f"unknown reverse-kNN method {method!r}; "
+                f"expected one of {REVERSE_METHODS}"
+            )
+        queries = list(queries)
+        if not queries:
+            return []
+        timer = Timer().start()
+        n_queries = len(queries)
+        accesses_before = sum(
+            shard.db.store.statistics.object_accesses for shard in self._shards
+        )
+
+        # The per-shard calls below run on fan-out threads while this thread
+        # holds every read lock, so they must stay lock-free (the RW lock is
+        # not reentrant and writer preference would deadlock nested reads).
+        with ExitStack() as stack:
+            for shard in self._shards:
+                stack.enter_context(shard.lock.read())
+
+            gathered = self._map_shards(
+                lambda shard: shard.db.tree.leaf_alpha_bounds(alpha)
+            )
+            parts = [g for g in gathered if g[0].shape[0] > 0]
+            if not parts:
+                self.metrics.increment(MetricsCollector.REVERSE_QUERIES, n_queries)
+                return [
+                    self._empty_reverse_result(k, alpha, method, timer.stop())
+                    for _ in queries
+                ]
+            ids = np.concatenate([g[0] for g in parts])
+            box_lo = np.concatenate([g[1] for g in parts])
+            box_hi = np.concatenate([g[2] for g in parts])
+            # Row ranges of each shard within the concatenated global arrays.
+            spans: Dict[int, Tuple[int, int]] = {}
+            offset = 0
+            for shard_index, g in enumerate(gathered):
+                rows = g[0].shape[0]
+                spans[shard_index] = (offset, offset + rows)
+                offset += rows
+
+            prepared = [PreparedQuery(q, alpha, self.config, rng) for q in queries]
+            if method == "linear":
+                masks = np.ones((n_queries, ids.shape[0]), dtype=bool)
+            else:
+                thresholds = min_dist_to_boxes(
+                    np.stack([p.query_mbr.lower for p in prepared]),
+                    np.stack([p.query_mbr.upper for p in prepared]),
+                    box_lo,
+                    box_hi,
+                )
+
+                def filter_rows(shard: _Shard) -> Optional[np.ndarray]:
+                    start, stop = spans[shard.index]
+                    if start == stop:
+                        return None
+                    return certainly_closer_counts(
+                        box_lo[start:stop],
+                        box_hi[start:stop],
+                        box_lo,
+                        box_hi,
+                        thresholds[:, start:stop],
+                        self_index=np.arange(start, stop),
+                    )
+
+                blocks = self._map_shards(filter_rows)
+                counts = np.concatenate(
+                    [b for b in blocks if b is not None], axis=1
+                )
+                masks = counts < k
+
+            union = np.flatnonzero(masks.any(axis=0))
+            if union.shape[0] == 0:
+                self.metrics.increment(MetricsCollector.REVERSE_QUERIES, n_queries)
+                elapsed = timer.stop()
+                return [
+                    self._empty_reverse_result(
+                        k, alpha, method, elapsed, candidates=0.0
+                    )
+                    for _ in queries
+                ]
+            # Each candidate row came from a known shard span, so its object
+            # can be fetched from the owning store without the owner map.
+            shard_of_row = np.empty(ids.shape[0], dtype=np.int64)
+            for shard_index, (start, stop) in spans.items():
+                shard_of_row[start:stop] = shard_index
+            cand_ids = [int(ids[j]) for j in union]
+            cand_objs = [
+                self._shards[int(shard_of_row[j])].db.store.get(int(ids[j]))
+                for j in union
+            ]
+            cand_cuts = [obj.alpha_cut(alpha) for obj in cand_objs]
+            metrics = MetricsCollector()
+            per_query_cols, per_query_dists, tau = bucket_candidate_distances(
+                prepared, masks, union, cand_cuts, metrics
+            )
+            seeds = [{object_id: 0.0} for object_id in cand_ids]
+            shard_batches = self._map_shards(
+                lambda shard: shard.db.aknn_batch(
+                    cand_objs, k + 1, alpha, rng=rng,
+                    initial_tau=tau, initial_exact=seeds,
+                )
+            )
+
+        merged = [
+            self._merge_topk(
+                [batch.results[j].neighbors for batch in shard_batches], k + 1
+            )
+            for j in range(len(cand_ids))
+        ]
+        elapsed = timer.stop()
+        self.metrics.increment(MetricsCollector.REVERSE_QUERIES, n_queries)
+        self.metrics.increment(MetricsCollector.REVERSE_CANDIDATES, len(cand_ids))
+        memberships, distance_maps = collect_memberships(
+            k, cand_ids, merged, per_query_cols, per_query_dists
+        )
+        return build_bucket_results(
+            k,
+            alpha,
+            method,
+            elapsed,
+            masks,
+            memberships,
+            distance_maps,
+            [int(cols.shape[0]) for cols in per_query_cols],
+            totals={
+                "object_accesses": sum(
+                    shard.db.store.statistics.object_accesses
+                    for shard in self._shards
+                )
+                - accesses_before,
+                "node_accesses": sum(
+                    batch.stats.node_accesses for batch in shard_batches
+                ),
+                "distance_evaluations": metrics.get(
+                    MetricsCollector.DISTANCE_EVALUATIONS
+                )
+                + sum(batch.stats.distance_evaluations for batch in shard_batches),
+                "lower_bound_evaluations": sum(
+                    batch.stats.lower_bound_evaluations for batch in shard_batches
+                ),
+                "upper_bound_evaluations": sum(
+                    batch.stats.upper_bound_evaluations for batch in shard_batches
+                ),
+            },
+            extra_common={
+                "batch_reverse_queries": float(n_queries),
+                "shard_fanouts": float(len(self._shards)),
+            },
+        )
+
+    @staticmethod
+    def _empty_reverse_result(
+        k: int,
+        alpha: float,
+        method: str,
+        elapsed: float,
+        candidates: float = 0.0,
+    ) -> ReverseKNNResult:
+        return ReverseKNNResult(
+            object_ids=[],
+            distances={},
+            k=k,
+            alpha=alpha,
+            method=method,
+            stats=QueryStats(
+                elapsed_seconds=elapsed, extra={"candidates": candidates}
+            ),
+        )
+
     # ------------------------------------------------------------------
     # Live updates
     # ------------------------------------------------------------------
@@ -452,8 +682,12 @@ class ShardedDatabase:
 
         The owning shard is chosen by the placement policy; the insert holds
         that shard's write lock, so concurrent queries see either the old or
-        the new index state, never a partial mutation.
+        the new index state, never a partial mutation.  The object's geometry
+        is validated first — a non-finite support centre would otherwise be
+        mis-routed (or poison distance evaluations) after the owner map and
+        id watermark were already touched.
         """
+        center = obj.require_finite().support_mbr().center
         with self._admin_lock:
             if obj.object_id is None:
                 object_id = self._next_id
@@ -463,7 +697,6 @@ class ShardedDatabase:
                 if object_id in self._owners:
                     raise StorageError(f"object id {object_id} already stored")
             self._next_id = max(self._next_id, object_id + 1)
-        center = obj.support_mbr().center
         shard_index = self.placement.shard_for(object_id, center)
         shard = self._shards[shard_index]
         with shard.lock.write():

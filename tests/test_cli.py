@@ -83,6 +83,43 @@ class TestCommands:
         assert "RKNN(k=2" in output
         assert "qualifying" in output
 
+    @pytest.mark.parametrize("method", ["linear", "pruned", "batch"])
+    def test_reverse_on_generated_database(self, capsys, method):
+        exit_code = main(
+            ["reverse", "--n-objects", "25", "--points-per-object", "12", "--k", "2",
+             "--space-size", "5", "--method", method]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert f"REVERSE AKNN(k=2, alpha=0.5, method={method})" in output
+        assert "candidates" in output
+
+
+class TestReverseParser:
+    def test_reverse_defaults(self):
+        args = build_parser().parse_args(["reverse"])
+        assert args.command == "reverse"
+        assert args.alpha == 0.5
+        assert args.method == "batch"
+
+    def test_rknn_help_names_the_range_semantics(self, capsys):
+        """The rknn subcommand is the alpha-range sweep, not reverse kNN; its
+        help must say so and point at the reverse subcommand (regression for
+        the ambiguous 'range kNN' wording)."""
+        top_help = " ".join(build_parser().format_help().split())
+        assert "alpha-range" in top_help
+        assert "NOT reverse" in top_help
+        with pytest.raises(SystemExit):
+            main(["rknn", "--help"])
+        rknn_help = " ".join(capsys.readouterr().out.split())
+        assert "not a reverse kNN query" in rknn_help
+        with pytest.raises(SystemExit):
+            main(["reverse", "--help"])
+        reverse_help = " ".join(capsys.readouterr().out.split())
+        assert "monochromatic" in reverse_help
+        for method in ("linear", "pruned", "batch"):
+            assert method in reverse_help
+
 
 class TestBatchCommand:
     def test_batch_defaults(self):

@@ -105,6 +105,39 @@ class TestCoalescing:
             want = reference.aknn(queries[0], k=4, alpha=0.5)
             assert set(result.object_ids) == set(want.object_ids)
 
+    def test_reverse_submissions_coalesce_into_one_bucket(
+        self, sharded, reference, queries
+    ):
+        """Reverse AKNN requests sharing (k, alpha) flush as one bucket and
+        return exactly the direct per-query answers."""
+        with QueryService(
+            sharded, window_ms=200.0, max_batch=len(queries)
+        ) as service:
+            futures = [service.submit_reverse(q, k=3, alpha=0.5) for q in queries]
+            for query, future in zip(queries, futures):
+                result = future.result(timeout=30)
+                want = reference.reverse_aknn(query, k=3, alpha=0.5, method="linear")
+                assert result.object_ids == want.object_ids
+            stats = service.stats()
+            assert stats.batches_flushed == 1
+            assert stats.max_batch_size == len(queries)
+
+    def test_reverse_and_aknn_use_distinct_buckets(self, sharded, queries):
+        with QueryService(sharded, window_ms=50.0, max_batch=32) as service:
+            f_aknn = service.submit(queries[0], k=3, alpha=0.5)
+            f_reverse = service.submit_reverse(queries[1], k=3, alpha=0.5)
+            aknn_result = f_aknn.result(timeout=30)
+            reverse_result = f_reverse.result(timeout=30)
+            assert aknn_result.k == 3 and reverse_result.k == 3
+            assert reverse_result.method == "batch"
+            assert service.stats().batches_flushed == 2
+
+    def test_reverse_sync_wrapper(self, sharded, reference, queries):
+        with QueryService(sharded, window_ms=1.0) as service:
+            result = service.reverse_aknn(queries[0], k=2, alpha=0.5, timeout=30)
+            want = reference.reverse_aknn(queries[0], k=2, alpha=0.5, method="batch")
+            assert result.object_ids == want.object_ids
+
 
 class TestAdmissionControl:
     def test_overload_sheds_requests(self, sharded, queries):

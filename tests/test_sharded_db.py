@@ -15,7 +15,11 @@ from repro.core.aknn import AKNN_METHODS
 from repro.core.database import FuzzyDatabase
 from repro.datasets.builder import build_dataset
 from repro.datasets.queries import generate_query_object
-from repro.exceptions import InvalidQueryError, ObjectNotFoundError
+from repro.exceptions import (
+    InvalidFuzzyObjectError,
+    InvalidQueryError,
+    ObjectNotFoundError,
+)
 from repro.service import ShardedDatabase
 from repro.service.placement import HashPlacement, SpacePlacement, make_placement
 
@@ -129,6 +133,55 @@ class TestQueryParity:
         sharded.close()
 
     @pytest.mark.parametrize("placement", PLACEMENTS)
+    @pytest.mark.parametrize("n_shards", (2, 4))
+    @pytest.mark.parametrize("method", ["linear", "pruned", "batch"])
+    def test_reverse_aknn_parity(
+        self, objects, config, reference, queries, placement, n_shards, method
+    ):
+        """Sharded reverse AKNN returns the single-tree answer for every
+        method, placement and shard count."""
+        sharded = build_sharded(objects, config, n_shards, placement)
+        try:
+            for query in queries[:2]:
+                for k in (1, 4):
+                    want = reference.reverse_aknn(
+                        query, k=k, alpha=0.5, method="linear"
+                    )
+                    got = sharded.reverse_aknn(query, k=k, alpha=0.5, method=method)
+                    assert got.object_ids == want.object_ids
+                    for object_id in got.object_ids:
+                        assert got.distances[object_id] == pytest.approx(
+                            want.distances[object_id]
+                        )
+        finally:
+            sharded.close()
+
+    def test_reverse_aknn_batch_bucket_parity(
+        self, objects, config, reference, queries
+    ):
+        sharded = build_sharded(objects, config, 3, "hash")
+        try:
+            results = sharded.reverse_aknn_batch(queries, k=3, alpha=0.5)
+            assert len(results) == len(queries)
+            for query, got in zip(queries, results):
+                want = reference.reverse_aknn(query, k=3, alpha=0.5, method="batch")
+                assert got.object_ids == want.object_ids
+        finally:
+            sharded.close()
+
+    def test_reverse_aknn_invalid_arguments(self, objects, config, queries):
+        sharded = build_sharded(objects, config, 2, "hash")
+        try:
+            with pytest.raises(InvalidQueryError):
+                sharded.reverse_aknn(queries[0], k=0, alpha=0.5)
+            with pytest.raises(InvalidQueryError):
+                sharded.reverse_aknn(queries[0], k=2, alpha=0.0)
+            with pytest.raises(InvalidQueryError):
+                sharded.reverse_aknn(queries[0], k=2, alpha=0.5, method="bogus")
+        finally:
+            sharded.close()
+
+    @pytest.mark.parametrize("placement", PLACEMENTS)
     @pytest.mark.parametrize("method", ("basic", "rss", "rss_icr"))
     def test_rknn_parity(self, objects, config, reference, queries, placement, method):
         sharded = build_sharded(objects, config, 3, placement)
@@ -191,6 +244,15 @@ class TestLiveWorkloadParity:
         got_rknn = sharded.rknn(queries[0], k=4, alpha_range=(0.35, 0.65))
         want_rknn = mirror.rknn(queries[0], k=4, alpha_range=(0.35, 0.65))
         assert_same_assignments(got_rknn.assignments, want_rknn.assignments)
+        # Reverse AKNN stays exact after churn, for every method.
+        for method in ("linear", "pruned", "batch"):
+            got_reverse = sharded.reverse_aknn(
+                queries[0], k=3, alpha=0.5, method=method
+            )
+            want_reverse = mirror.reverse_aknn(
+                queries[0], k=3, alpha=0.5, method="linear"
+            )
+            assert got_reverse.object_ids == want_reverse.object_ids
         sharded.close()
         mirror.close()
 
@@ -208,6 +270,53 @@ class TestLiveWorkloadParity:
         with pytest.raises(StorageError):
             sharded.insert(make_fuzzy_object(rng, object_id=taken))
         sharded.close()
+
+
+class TestGeometryValidation:
+    """Regressions for NaN / non-finite geometry routing (PR 3 satellite)."""
+
+    def test_space_placement_rejects_non_finite_centres(self):
+        policy = SpacePlacement.fit(np.arange(20.0).reshape(-1, 1), 4)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite"):
+                policy.shard_for(7, [bad, 0.0])
+        # Finite centres still route normally.
+        assert 0 <= policy.shard_for(7, [4.0, 0.0]) < 4
+
+    @pytest.mark.parametrize("placement", PLACEMENTS)
+    def test_insert_rejects_non_finite_geometry(self, objects, config, placement):
+        """A non-finite support centre must be rejected before the owner map
+        or id watermark are touched, for every placement policy."""
+        sharded = build_sharded(objects, config, 3, placement)
+        try:
+            size_before = len(sharded)
+            ids_before = sharded.object_ids()
+            poisoned = make_fuzzy_object(np.random.default_rng(9), center=[1.0, 1.0])
+            poisoned.points[0, 0] = np.nan  # bypasses construction validation
+            with pytest.raises(InvalidFuzzyObjectError, match="non-finite"):
+                sharded.insert(poisoned)
+            assert len(sharded) == size_before
+            assert sharded.object_ids() == ids_before
+            sharded.validate()
+            # The id watermark did not advance for the rejected insert.
+            clean = make_fuzzy_object(np.random.default_rng(10), center=[1.0, 1.0])
+            assert sharded.insert(clean) == max(ids_before) + 1
+        finally:
+            sharded.close()
+
+    def test_unsharded_insert_rejects_non_finite_geometry(self, objects, config):
+        """The same chokepoint guards the plain FuzzyDatabase insert path."""
+        database = FuzzyDatabase.build(list(objects), config=config)
+        try:
+            size_before = len(database)
+            poisoned = make_fuzzy_object(np.random.default_rng(9), center=[1.0, 1.0])
+            poisoned.points[0, 0] = np.nan
+            with pytest.raises(InvalidFuzzyObjectError, match="non-finite"):
+                database.insert(poisoned)
+            assert len(database) == size_before
+            database.validate()
+        finally:
+            database.close()
 
 
 class TestTelemetry:
