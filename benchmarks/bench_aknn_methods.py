@@ -10,6 +10,7 @@ import pytest
 
 from benchmarks.conftest import BENCH_SCALE
 from repro.core.aknn import AKNN_METHODS
+from repro.core.requests import AknnRequest
 
 
 @pytest.mark.parametrize("method", AKNN_METHODS)
@@ -17,8 +18,10 @@ def test_aknn_method(benchmark, bench_bundle, bench_queries, method):
     database = bench_bundle.database
     query = bench_queries[0]
 
+    request = AknnRequest(query, k=BENCH_SCALE.k, alpha=BENCH_SCALE.alpha, method=method)
+
     def run():
-        return database.aknn(query, k=BENCH_SCALE.k, alpha=BENCH_SCALE.alpha, method=method)
+        return database.execute(request)
 
     result = benchmark(run)
     benchmark.extra_info["object_accesses"] = result.stats.object_accesses
@@ -33,8 +36,10 @@ def test_aknn_alpha_extremes(benchmark, bench_bundle, bench_queries, method, alp
     database = bench_bundle.database
     query = bench_queries[0]
 
+    request = AknnRequest(query, k=BENCH_SCALE.k, alpha=alpha, method=method)
+
     def run():
-        return database.aknn(query, k=BENCH_SCALE.k, alpha=alpha, method=method)
+        return database.execute(request)
 
     result = benchmark(run)
     benchmark.extra_info["object_accesses"] = result.stats.object_accesses

@@ -1,10 +1,11 @@
 """Benchmark: vectorized batch executor vs. looped single-query AKNN.
 
-Measures a 64-query AKNN batch (paper-style synthetic dataset, n=10k objects
-by default) through ``Database.aknn_batch`` against looping the single-query
-``Database.aknn``, asserts the neighbour sets are identical, and writes the
-``BENCH_batch.json`` baseline next to this file so the performance trajectory
-of the batch engine is tracked from PR to PR.
+Measures a 64-query AKNN submission (paper-style synthetic dataset, n=10k
+objects by default) through ``Database.execute_batch`` — the planner answers
+the whole bucket with one shared traversal — against looping single
+``AknnRequest`` executions, asserts the neighbour sets are identical, and
+writes the ``BENCH_batch.json`` baseline next to this file so the
+performance trajectory of the batch engine is tracked from PR to PR.
 
 Run directly::
 
@@ -30,6 +31,7 @@ import numpy as np
 import scipy
 
 from repro.config import RuntimeConfig
+from repro.core.requests import AknnRequest
 from repro.datasets.builder import DatasetBundle
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_batch.json"
@@ -87,31 +89,33 @@ def main(argv=None) -> int:
     queries = bundle.queries(args.n_queries)
     print(f"build took {time.perf_counter() - t0:.1f}s")
 
+    requests = [
+        AknnRequest(query, k=args.k, alpha=args.alpha, method=args.method)
+        for query in queries
+    ]
+
     # Warm every caching layer so both paths are measured steady-state.
-    for query in queries:
-        database.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
-    database.aknn_batch(queries, k=args.k, alpha=args.alpha, method=args.method)
+    for request in requests:
+        database.execute(request)
+    database.execute_batch(requests)
 
     loop_seconds = np.inf
     loop_results = None
     for _ in range(args.repeats):
         t0 = time.perf_counter()
-        loop_results = [
-            database.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
-            for query in queries
-        ]
+        loop_results = [database.execute(request) for request in requests]
         loop_seconds = min(loop_seconds, time.perf_counter() - t0)
 
     batch_seconds = np.inf
-    batch = None
+    batch_results = None
     for _ in range(args.repeats):
+        database.reset_statistics()
         t0 = time.perf_counter()
-        batch = database.aknn_batch(
-            queries, k=args.k, alpha=args.alpha, method=args.method
-        )
+        batch_results = database.execute_batch(requests)
         batch_seconds = min(batch_seconds, time.perf_counter() - t0)
+    batch_object_accesses = database.object_accesses
 
-    for single, result in zip(loop_results, batch.results):
+    for single, result in zip(loop_results, batch_results):
         assert set(single.object_ids) == set(result.object_ids), (
             "batch executor diverged from the single-query path: "
             f"{sorted(single.object_ids)} != {sorted(result.object_ids)}"
@@ -150,11 +154,10 @@ def main(argv=None) -> int:
         "speedup": speedup,
         "throughput_qps": qps,
         "batch_stats": {
-            "object_accesses": batch.stats.object_accesses,
-            "node_accesses": batch.stats.node_accesses,
-            "distance_evaluations": batch.stats.distance_evaluations,
-            "nodes_pruned": batch.stats.extra.get("nodes_pruned", 0.0),
-            "batch_candidates": batch.stats.extra.get("batch_candidates", 0.0),
+            "object_accesses": batch_object_accesses,
+            "distance_evaluations": sum(
+                result.stats.distance_evaluations for result in batch_results
+            ),
         },
     }
     args.output.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")

@@ -32,6 +32,7 @@ import numpy as np
 import scipy
 
 from repro.config import RuntimeConfig
+from repro.core.requests import ReverseRequest
 from repro.datasets.builder import DatasetBundle
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_rknn.json"
@@ -94,11 +95,13 @@ def main(argv=None) -> int:
 
     # Warm the caching layers (store buffer pool, alpha-cut caches, node
     # alpha caches, representative index) so both paths run steady-state.
-    database.reverse_aknn(queries[0], k=args.k, alpha=args.alpha, method="batch")
+    database.execute(ReverseRequest(queries[0], k=args.k, alpha=args.alpha))
 
     t0 = time.perf_counter()
     pruned_results = [
-        database.reverse_aknn(query, k=args.k, alpha=args.alpha, method="pruned")
+        database.execute(
+            ReverseRequest(query, k=args.k, alpha=args.alpha, method="pruned")
+        )
         for query in queries
     ]
     pruned_seconds = time.perf_counter() - t0
@@ -113,7 +116,7 @@ def main(argv=None) -> int:
     for _ in range(args.repeats):
         t0 = time.perf_counter()
         batch_results = [
-            database.reverse_aknn(query, k=args.k, alpha=args.alpha, method="batch")
+            database.execute(ReverseRequest(query, k=args.k, alpha=args.alpha))
             for query in queries
         ]
         batch_seconds = min(batch_seconds, time.perf_counter() - t0)
@@ -125,8 +128,8 @@ def main(argv=None) -> int:
         )
     if args.quick:
         for query, batch in zip(queries, batch_results):
-            linear = database.reverse_aknn(
-                query, k=args.k, alpha=args.alpha, method="linear"
+            linear = database.execute(
+                ReverseRequest(query, k=args.k, alpha=args.alpha, method="linear")
             )
             assert linear.object_ids == batch.object_ids, (
                 "batch-vs-linear parity failed: "
@@ -136,7 +139,9 @@ def main(argv=None) -> int:
 
     # One coalesced bucket amortises the filter matrix across the queries.
     t0 = time.perf_counter()
-    bucket_results = database.reverse_aknn_batch(queries, k=args.k, alpha=args.alpha)
+    bucket_results = database.execute_batch(
+        [ReverseRequest(query, k=args.k, alpha=args.alpha) for query in queries]
+    )
     bucket_seconds = time.perf_counter() - t0
     for batch, bucket in zip(batch_results, bucket_results):
         assert batch.object_ids == bucket.object_ids

@@ -8,6 +8,7 @@ quantity Lemma 4 reduces).
 import pytest
 
 from benchmarks.conftest import BENCH_SCALE
+from repro.core.requests import SweepRequest
 from repro.core.rknn import RKNN_METHODS
 
 # The naive method is excluded: like the paper we only report it as
@@ -21,8 +22,12 @@ def test_rknn_method(benchmark, bench_bundle, bench_queries, method):
     query = bench_queries[0]
     alpha_range = BENCH_SCALE.alpha_range()
 
+    request = SweepRequest(
+        query, k=BENCH_SCALE.k, alpha_range=alpha_range, method=method
+    )
+
     def run():
-        return database.rknn(query, k=BENCH_SCALE.k, alpha_range=alpha_range, method=method)
+        return database.execute(request)
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     benchmark.extra_info["object_accesses"] = result.stats.object_accesses

@@ -37,6 +37,7 @@ import numpy as np
 import scipy
 
 from repro.config import RuntimeConfig
+from repro.core.requests import AknnRequest
 from repro.datasets.builder import DatasetBundle
 from repro.service import QueryService, ShardedDatabase
 
@@ -88,28 +89,22 @@ def parse_args(argv=None) -> argparse.Namespace:
     return args
 
 
-def run_loop_baseline(database, queries, args) -> float:
-    """One pass of the unsharded single-query loop; returns elapsed seconds."""
+def run_loop_baseline(database, requests, args) -> float:
+    """One pass of the unsharded single-request loop; returns elapsed seconds."""
     t0 = time.perf_counter()
     for index in range(args.n_requests):
-        database.aknn(
-            queries[index % len(queries)], k=args.k, alpha=args.alpha,
-            method=args.method,
-        )
+        database.execute(requests[index % len(requests)])
     return time.perf_counter() - t0
 
 
-def run_service_pass(service, queries, args):
+def run_service_pass(service, requests, args):
     """One closed-loop pass through the service; returns elapsed seconds."""
     done = 0
     t0 = time.perf_counter()
     while done < args.n_requests:
         wave = min(args.wave, args.n_requests - done)
         futures = [
-            service.submit(
-                queries[(done + i) % len(queries)], k=args.k, alpha=args.alpha,
-                method=args.method,
-            )
+            service.submit_request(requests[(done + i) % len(requests)])
             for i in range(wave)
         ]
         for future in futures:
@@ -150,16 +145,21 @@ def main(argv=None) -> int:
         f"(shard sizes {sharded.shard_sizes()})"
     )
 
+    requests = [
+        AknnRequest(query, k=args.k, alpha=args.alpha, method=args.method)
+        for query in queries
+    ]
+
     # Warm every caching layer on both sides so the comparison is
     # steady-state serving, not first-touch costs.
-    for query in queries:
-        database.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
-    sharded.aknn_batch(queries, k=args.k, alpha=args.alpha, method=args.method)
+    for request in requests:
+        database.execute(request)
+    sharded.execute_batch(requests)
 
     # Parity guard: the service path must answer exactly like the loop.
-    check = sharded.aknn_batch(queries, k=args.k, alpha=args.alpha, method=args.method)
-    for query, result in zip(queries, check.results):
-        single = database.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
+    check = sharded.execute_batch(requests)
+    for request, result in zip(requests, check):
+        single = database.execute(request)
         assert set(single.object_ids) == set(result.object_ids), (
             "sharded service diverged from the single-tree path"
         )
@@ -169,12 +169,12 @@ def main(argv=None) -> int:
     service_stats = None
     # Alternate the two sides so ambient machine noise hits both equally.
     for _ in range(args.repeats):
-        loop_seconds = min(loop_seconds, run_loop_baseline(database, queries, args))
+        loop_seconds = min(loop_seconds, run_loop_baseline(database, requests, args))
         with QueryService(sharded) as service:
-            for query in queries[:8]:  # re-warm the flusher thread
-                service.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
+            for request in requests[:8]:  # re-warm the flusher thread
+                service.execute(request)
             service_seconds = min(
-                service_seconds, run_service_pass(service, queries, args)
+                service_seconds, run_service_pass(service, requests, args)
             )
             service_stats = service.stats()
 

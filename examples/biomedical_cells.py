@@ -26,7 +26,7 @@ import statistics
 
 import numpy as np
 
-from repro import FuzzyDatabase
+from repro import AknnRequest, FuzzyDatabase
 from repro.config import RuntimeConfig
 from repro.datasets.cells import CellDatasetConfig, generate_cell_dataset
 
@@ -55,7 +55,7 @@ def nearest_cells_at_two_confidence_levels(db: FuzzyDatabase) -> None:
           f"{query_cell.distinct_memberships().size} distinct probabilities)")
 
     for alpha, label in ((HIGH_CONFIDENCE, "cell bodies only"), (LOW_CONFIDENCE, "including halos")):
-        result = db.aknn(query_cell, k=6, alpha=alpha, method="lb_lp_ub")
+        result = db.execute(AknnRequest(query_cell, k=6, alpha=alpha, method="lb_lp_ub"))
         # The query object itself is stored in the database, so it appears at
         # distance zero; drop it from the report.
         neighbors = [n for n in result.sorted_by_distance() if n.object_id != 0][:5]
@@ -69,7 +69,7 @@ def nn_distance_distribution(db: FuzzyDatabase, alpha: float, sample: int = 40) 
     distances = []
     for object_id in db.object_ids()[:sample]:
         cell = db.get_object(object_id)
-        result = db.aknn(cell, k=2, alpha=alpha, method="lb_lp_ub")
+        result = db.execute(AknnRequest(cell, k=2, alpha=alpha, method="lb_lp_ub"))
         # k=2 because the nearest neighbour of a stored cell is itself.
         others = [n for n in result.sorted_by_distance() if n.object_id != object_id]
         if others:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import FuzzyDatabase, FuzzyObject
+from repro import AknnRequest, FuzzyDatabase, FuzzyObject, SweepRequest
 from repro.datasets.cells import CellDatasetConfig, generate_cell_object
 
 N_ZONES = 120
@@ -64,7 +64,7 @@ def main() -> None:
     # AKNN at two confidence levels.
     # ------------------------------------------------------------------
     for alpha, label in ((0.9, "certain core only"), (0.1, "possible extent")):
-        result = db.aknn(site, k=K, alpha=alpha, method="lb_lp_ub")
+        result = db.execute(AknnRequest(site, k=K, alpha=alpha, method="lb_lp_ub"))
         print(f"{K} nearest zones at alpha = {alpha:.1f} ({label}):")
         for neighbor in result.sorted_by_distance():
             distance = (
@@ -77,7 +77,9 @@ def main() -> None:
     # RKNN: the full sensitivity picture over alpha in [0.1, 0.9].
     # ------------------------------------------------------------------
     print("Qualifying confidence ranges (RKNN, alpha in [0.1, 0.9]):")
-    rknn = db.rknn(site, k=K, alpha_range=(0.1, 0.9), method="rss_icr")
+    rknn = db.execute(
+        SweepRequest(site, k=K, alpha_range=(0.1, 0.9), method="rss_icr")
+    )
     for zone_id in rknn.object_ids:
         print(f"  zone {zone_id:>4}: {rknn.assignments[zone_id]}")
     if len(rknn) > K:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import FuzzyDatabase
+from repro import AknnRequest, FuzzyDatabase, SweepRequest
 from repro.datasets import build_dataset
 from repro.datasets.queries import generate_query_object
 
@@ -43,7 +43,7 @@ def main() -> None:
 
     print("\nAKNN query: 5 nearest objects at probability threshold alpha = 0.5")
     db.reset_statistics()
-    result = db.aknn(query, k=5, alpha=0.5, method="lb_lp_ub")
+    result = db.execute(AknnRequest(query, k=5, alpha=0.5, method="lb_lp_ub"))
     for neighbor in result.sorted_by_distance():
         label = (
             f"{neighbor.distance:.4f}"
@@ -60,14 +60,16 @@ def main() -> None:
     # Compare the optimisation levels on the same query.
     print("\nObject accesses per AKNN method (same query):")
     for method in ("basic", "lb", "lb_lp", "lb_lp_ub"):
-        stats = db.aknn(query, k=5, alpha=0.5, method=method).stats
+        stats = db.execute(AknnRequest(query, k=5, alpha=0.5, method=method)).stats
         print(f"  {method:<9} {stats.object_accesses:>4} object accesses")
 
     # ------------------------------------------------------------------
     # 3. Range kNN query (Definition 5).
     # ------------------------------------------------------------------
     print("\nRKNN query: 3 nearest objects anywhere in alpha = [0.3, 0.7]")
-    rknn = db.rknn(query, k=3, alpha_range=(0.3, 0.7), method="rss_icr")
+    rknn = db.execute(
+        SweepRequest(query, k=3, alpha_range=(0.3, 0.7), method="rss_icr")
+    )
     for object_id in rknn.object_ids:
         print(f"  object {object_id:>4}   qualifying range {rknn.assignments[object_id]}")
     print(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import FuzzyDatabase
+from repro import AknnRequest, FuzzyDatabase, SweepRequest
 from repro.datasets import build_dataset
 from repro.datasets.queries import generate_query_object
 
@@ -41,7 +41,9 @@ def main() -> None:
     # 1. One RKNN query answers every threshold in [0.2, 0.9] at once.
     # ------------------------------------------------------------------
     print(f"\nRKNN query: k = {K}, alpha range = {ALPHA_RANGE}")
-    result = db.rknn(query, k=K, alpha_range=ALPHA_RANGE, method="rss_icr")
+    result = db.execute(
+        SweepRequest(query, k=K, alpha_range=ALPHA_RANGE, method="rss_icr")
+    )
     print(f"  {len(result)} objects qualify somewhere in the range:")
     for object_id in result.object_ids:
         print(f"    object {object_id:>4}: {result.assignments[object_id]}")
@@ -51,7 +53,9 @@ def main() -> None:
     # ------------------------------------------------------------------
     print("\n  cross-check against AKNN at selected thresholds:")
     for alpha in (0.25, 0.5, 0.75):
-        aknn_ids = sorted(db.aknn(query, k=K, alpha=alpha).object_ids)
+        aknn_ids = sorted(
+            db.execute(AknnRequest(query, k=K, alpha=alpha)).object_ids
+        )
         rknn_ids = result.qualifying_at(alpha)
         status = "ok" if aknn_ids == rknn_ids else "MISMATCH"
         print(f"    alpha = {alpha:.2f}: AKNN {aknn_ids} vs RKNN {rknn_ids}  [{status}]")
@@ -64,7 +68,9 @@ def main() -> None:
           f"{'refinement steps':>18} {'time [ms]':>10}")
     for method in ("basic", "rss", "rss_icr"):
         db.reset_statistics()
-        stats = db.rknn(query, k=K, alpha_range=ALPHA_RANGE, method=method).stats
+        stats = db.execute(
+            SweepRequest(query, k=K, alpha_range=ALPHA_RANGE, method=method)
+        ).stats
         print(
             f"    {method:<10} {stats.object_accesses:>16} {stats.aknn_calls:>12} "
             f"{stats.refinement_steps:>18} {stats.elapsed_seconds * 1000:>10.1f}"

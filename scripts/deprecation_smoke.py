@@ -1,0 +1,82 @@
+"""CI gate: no in-repo caller may use the deprecated per-type query methods.
+
+Escalates :class:`repro.core.requests.LegacyQueryAPIWarning` — the warning
+every legacy shim emits — to an error, then drives the CLI surface end to
+end (including one mixed-type AKNN + reverse + range batch through
+``fuzzy-knn serve`` under live updates) and the quick benchmark harnesses.
+Any code path that still routes through a shim fails the run.
+
+The category is installed programmatically because ``PYTHONWARNINGS`` /
+``-W`` resolve custom categories during early interpreter startup, before
+the package is importable.
+
+Run locally::
+
+    PYTHONPATH=src python scripts/deprecation_smoke.py
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import warnings
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.requests import LegacyQueryAPIWarning  # noqa: E402
+
+warnings.simplefilter("error", LegacyQueryAPIWarning)
+
+from repro.cli import main as cli_main  # noqa: E402
+
+
+def _load_benchmark(name: str):
+    path = REPO_ROOT / "benchmarks" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main() -> int:
+    cli_runs = [
+        ["aknn", "--n-objects", "60", "--points-per-object", "16",
+         "--k", "4", "--space-size", "6"],
+        ["rknn", "--n-objects", "40", "--points-per-object", "16",
+         "--k", "3", "--space-size", "6"],
+        ["reverse", "--n-objects", "40", "--points-per-object", "16",
+         "--k", "3", "--space-size", "6"],
+        ["batch", "--n-objects", "60", "--points-per-object", "16",
+         "--k", "4", "--n-queries", "12", "--space-size", "6", "--stats"],
+        # The mixed-type batch smoke: AKNN + reverse + range interleaved
+        # through the coalescing service, with live insert/delete churn.
+        ["serve", "--n-objects", "80", "--points-per-object", "16",
+         "--k", "4", "--space-size", "6", "--shards", "2",
+         "--n-requests", "24", "--clients", "2", "--query-pool", "8",
+         "--mix", "aknn,reverse,range", "--update-ops", "2", "--stats"],
+    ]
+    for argv in cli_runs:
+        print(f"\n=== fuzzy-knn {' '.join(argv[:1])} (deprecation-clean) ===")
+        code = cli_main(argv)
+        if code != 0:
+            print(f"FAIL: fuzzy-knn {argv[0]} exited {code}")
+            return code
+
+    for name, extra in [
+        ("bench_batch_executor", ["--quick", "--output", "/tmp/BENCH_batch.json"]),
+        ("bench_rknn", ["--quick", "--output", "/tmp/BENCH_rknn.json"]),
+    ]:
+        print(f"\n=== {name} --quick (deprecation-clean) ===")
+        code = _load_benchmark(name).main(extra)
+        if code != 0:
+            print(f"FAIL: {name} exited {code}")
+            return code
+
+    print("\nall in-repo callers are on the unified request surface")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,14 @@ Typical usage::
     ]
     db = FuzzyDatabase.build(objects)
     query = FuzzyObject.single_point([5.0, 5.0])
-    for neighbor in db.aknn(query, k=5, alpha=0.5).sorted_by_distance():
+    result = db.execute(AknnRequest(query, k=5, alpha=0.5))
+    for neighbor in result.sorted_by_distance():
         print(neighbor.object_id, neighbor.distance)
+
+Every query is a typed request (:mod:`repro.core.requests`) executed through
+the two-method ``QueryEngine`` surface — ``execute`` / ``execute_batch`` —
+implemented identically by :class:`FuzzyDatabase`, :class:`ShardedDatabase`
+and :class:`QueryService`; a batch may mix request types freely.
 """
 
 from repro.config import PaperDefaults, RuntimeConfig, DEFAULTS
@@ -48,6 +54,17 @@ from repro.geometry import MBR, max_dist, min_dist
 from repro.index import RTree
 from repro.storage import ObjectStore
 from repro.core import (
+    AknnMethod,
+    AknnRequest,
+    LegacyQueryAPIWarning,
+    QueryEngine,
+    QueryRequest,
+    RangeRequest,
+    ReverseMethod,
+    ReverseRequest,
+    SweepMethod,
+    SweepRequest,
+    register_planner,
     AKNN_METHODS,
     AKNNResult,
     AKNNSearcher,
@@ -101,6 +118,18 @@ __all__ = [
     # Substrates
     "RTree",
     "ObjectStore",
+    # The query surface (typed requests + QueryEngine protocol)
+    "AknnMethod",
+    "AknnRequest",
+    "LegacyQueryAPIWarning",
+    "QueryEngine",
+    "QueryRequest",
+    "RangeRequest",
+    "ReverseMethod",
+    "ReverseRequest",
+    "SweepMethod",
+    "SweepRequest",
+    "register_planner",
     # Query processing
     "FuzzyDatabase",
     "AKNNSearcher",

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.database import FuzzyDatabase
+from repro.core.requests import AknnRequest, SweepRequest
 from repro.fuzzy.fuzzy_object import FuzzyObject
 
 
@@ -78,7 +79,9 @@ def run_aknn_batch(
     elapsed: List[float] = []
     for query in queries:
         database.reset_statistics()
-        result = database.aknn(query, k=k, alpha=alpha, method=method, rng=rng)
+        result = database.execute(
+            AknnRequest(query, k=k, alpha=alpha, method=method), rng=rng
+        )
         accesses.append(result.stats.object_accesses)
         node_accesses.append(result.stats.node_accesses)
         distance_evaluations.append(result.stats.distance_evaluations)
@@ -108,8 +111,12 @@ def run_rknn_batch(
     result_sizes: List[float] = []
     for query in queries:
         database.reset_statistics()
-        result = database.rknn(
-            query, k=k, alpha_range=alpha_range, method=method, aknn_method=aknn_method, rng=rng
+        result = database.execute(
+            SweepRequest(
+                query, k=k, alpha_range=alpha_range,
+                method=method, aknn_method=aknn_method,
+            ),
+            rng=rng,
         )
         accesses.append(result.stats.object_accesses)
         aknn_calls.append(result.stats.aknn_calls)

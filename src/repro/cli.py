@@ -7,22 +7,27 @@ runnable as ``python -m repro.cli``.  Subcommands:
     Build a dataset, index it, and persist the database to a directory.
 
 ``aknn`` / ``rknn`` / ``reverse``
-    Run a single query (with a freshly generated query object) against either
-    a saved database or an in-memory one generated on the fly, and print the
-    result together with its cost counters.  ``rknn`` is the paper's
-    *alpha-range* kNN sweep; ``reverse`` is the reverse AKNN query
-    (monochromatic semantics — which objects count the query among their own
-    k nearest neighbours).
+    Build one typed request (``AknnRequest`` / ``SweepRequest`` /
+    ``ReverseRequest``; see :mod:`repro.core.requests`) with a freshly
+    generated query object, execute it against either a saved database or an
+    in-memory one generated on the fly, and print the result together with
+    its cost counters.  ``rknn`` is the paper's *alpha-range* kNN sweep;
+    ``reverse`` is the reverse AKNN query (monochromatic semantics — which
+    objects count the query among their own k nearest neighbours).
 
 ``batch``
-    Run a batch of AKNN queries through the vectorized batch executor and
-    report the aggregate cost plus throughput (queries/sec).
+    Submit a batch of ``AknnRequest`` objects through ``execute_batch``; the
+    planner answers the whole bucket with one shared traversal and the
+    command reports the aggregate cost plus throughput (queries/sec).
 
 ``serve``
     Stand up the sharded query service (partitioned indexes + request
-    coalescing) and drive it closed-loop with concurrent clients, reporting
-    sustained queries/sec and p50/p99 latency.  ``--update-ops`` mixes live
-    inserts/deletes into the run to exercise the epoch machinery.
+    coalescing) and drive it closed-loop with concurrent clients submitting
+    typed requests, reporting sustained queries/sec and p50/p99 latency.
+    ``--mix`` interleaves request *types* (AKNN / reverse / range) in one
+    workload — the coalescer buckets them by ``bucket_key()`` — and
+    ``--update-ops`` mixes live inserts/deletes into the run to exercise the
+    epoch machinery.
 
 ``experiment``
     Reproduce one of the paper's figures and print the corresponding tables.
@@ -44,6 +49,12 @@ from repro.bench.config import scale_for_name
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import result_to_full_text
 from repro.core.database import FuzzyDatabase
+from repro.core.requests import (
+    AknnRequest,
+    RangeRequest,
+    ReverseRequest,
+    SweepRequest,
+)
 from repro.datasets.builder import build_database
 from repro.datasets.queries import generate_query_object
 
@@ -149,9 +160,13 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Partition the dataset across --shards independent indexes, start "
             "the coalescing QueryService in front of them, and drive it with "
-            "--clients concurrent threads submitting --n-requests AKNN "
-            "requests.  Tuning guide: shard count should not exceed physical "
-            "cores (fan-out runs one thread per shard); a larger "
+            "--clients concurrent threads submitting --n-requests typed "
+            "requests.  --mix selects the request types in the workload "
+            "(e.g. --mix aknn,reverse,range submits a mixed-type stream); "
+            "the coalescer groups concurrent submissions by their "
+            "bucket_key(), so each flushed bucket shares one traversal / "
+            "filter pass.  Tuning guide: shard count should not exceed "
+            "physical cores (fan-out runs one thread per shard); a larger "
             "--window-ms coalesces more aggressively (higher throughput, "
             "higher p50), a smaller one favours latency.  See the ROADMAP's "
             "'Serving architecture' section for details."
@@ -194,6 +209,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--update-ops", type=int, default=0,
         help="live insert+delete pairs applied concurrently with the run",
+    )
+    serve.add_argument(
+        "--mix", default="aknn",
+        help=(
+            "comma-separated request types the clients draw from "
+            "(aknn, reverse, range); e.g. --mix aknn,reverse,range submits "
+            "a mixed-type workload through one coalescing surface"
+        ),
+    )
+    serve.add_argument(
+        "--radius", type=float, default=5.0,
+        help="radius used by range requests in a --mix workload",
     )
 
     experiment = subparsers.add_parser("experiment", help="reproduce one paper figure")
@@ -259,7 +286,9 @@ def _command_aknn(args: argparse.Namespace) -> int:
         rng, kind=args.kind, space_size=args.space_size,
         points_per_object=args.points_per_object,
     )
-    result = database.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
+    result = database.execute(
+        AknnRequest(query, k=args.k, alpha=args.alpha, method=args.method)
+    )
     print(f"AKNN(k={args.k}, alpha={args.alpha}, method={args.method})")
     for neighbor in result.sorted_by_distance():
         distance = (
@@ -279,30 +308,55 @@ def _command_aknn(args: argparse.Namespace) -> int:
 
 
 def _command_batch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.results import QueryStats
+
     database = _load_or_build_database(args)
+    if args.workers is not None:
+        # The batch executor reads batch_workers from the shared config at
+        # call time, so overriding it here applies the flag to every bucket
+        # this command executes through the request surface.
+        database.config.batch_workers = args.workers
     rng = np.random.default_rng(args.query_seed)
-    queries = [
-        generate_query_object(
-            rng, kind=args.kind, space_size=args.space_size,
-            points_per_object=args.points_per_object,
+    requests = [
+        AknnRequest(
+            generate_query_object(
+                rng, kind=args.kind, space_size=args.space_size,
+                points_per_object=args.points_per_object,
+            ),
+            k=args.k,
+            alpha=args.alpha,
+            method=args.method,
         )
         for _ in range(args.n_queries)
     ]
-    result = database.aknn_batch(
-        queries, k=args.k, alpha=args.alpha, method=args.method, workers=args.workers
-    )
+    database.reset_statistics()
+    t0 = time.perf_counter()
+    results = database.execute_batch(requests)
+    elapsed = time.perf_counter() - t0
+    aggregate = QueryStats()
+    for result in results:
+        aggregate.merge(result.stats)
+    aggregate.object_accesses = database.object_accesses
+    aggregate.elapsed_seconds = elapsed
+    if elapsed > 0.0:
+        aggregate.extra["throughput_qps"] = args.n_queries / elapsed
     print(
         f"BATCH AKNN({args.n_queries} queries, k={args.k}, alpha={args.alpha}, "
         f"method={args.method})"
     )
     print(
-        f"cost: {result.stats.object_accesses} object accesses, "
-        f"{result.stats.node_accesses} node accesses, "
-        f"{result.stats.elapsed_seconds:.3f}s"
+        f"cost: {aggregate.object_accesses} object accesses, "
+        f"{aggregate.distance_evaluations} distance evaluations, "
+        f"{elapsed:.3f}s"
     )
-    print(f"throughput: {result.throughput_qps:.1f} queries/sec")
+    if elapsed > 0.0:
+        print(f"throughput: {args.n_queries / elapsed:.1f} queries/sec")
     if args.stats:
-        _print_stats_details(database, result.stats)
+        _print_stats_details(database, aggregate)
+        for name, value in sorted(database.metrics.as_dict().items()):
+            print(f"  planner.{name}: {value}")
     database.close()
     return 0
 
@@ -315,7 +369,9 @@ def _command_rknn(args: argparse.Namespace) -> int:
         points_per_object=args.points_per_object,
     )
     alpha_range = (args.alpha_start, args.alpha_end)
-    result = database.rknn(query, k=args.k, alpha_range=alpha_range, method=args.method)
+    result = database.execute(
+        SweepRequest(query, k=args.k, alpha_range=alpha_range, method=args.method)
+    )
     print(f"RKNN(k={args.k}, range=[{args.alpha_start}, {args.alpha_end}], method={args.method})")
     for object_id in result.object_ids:
         print(f"  object {object_id:>6}  qualifying {result.assignments[object_id]}")
@@ -338,8 +394,8 @@ def _command_reverse(args: argparse.Namespace) -> int:
         rng, kind=args.kind, space_size=args.space_size,
         points_per_object=args.points_per_object,
     )
-    result = database.reverse_aknn(
-        query, k=args.k, alpha=args.alpha, method=args.method
+    result = database.execute(
+        ReverseRequest(query, k=args.k, alpha=args.alpha, method=args.method)
     )
     print(
         f"REVERSE AKNN(k={args.k}, alpha={args.alpha}, method={args.method}): "
@@ -395,21 +451,39 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"({args.placement} placement, sizes {database.shard_sizes()})"
     )
 
+    kinds = [kind.strip() for kind in args.mix.split(",") if kind.strip()]
+    unknown = sorted(set(kinds) - {"aknn", "reverse", "range"})
+    if not kinds or unknown:
+        raise SystemExit(
+            f"--mix must name request types from aknn/reverse/range, got {args.mix!r}"
+        )
+
     rng = np.random.default_rng(args.query_seed)
-    pool = [
+    queries = [
         generate_query_object(
             rng, kind=args.kind, space_size=args.space_size,
             points_per_object=args.points_per_object,
         )
         for _ in range(args.query_pool)
     ]
+
+    def make_request(index: int):
+        """One typed request, rotating through the --mix kinds."""
+        query = queries[index % len(queries)]
+        kind = kinds[index % len(kinds)]
+        if kind == "reverse":
+            return ReverseRequest(query, k=args.k, alpha=args.alpha)
+        if kind == "range":
+            return RangeRequest(query, alpha=args.alpha, radius=args.radius)
+        return AknnRequest(query, k=args.k, alpha=args.alpha, method=args.method)
+
     completed_per_client = [0] * args.clients
 
     def client(client_index: int, n_requests: int) -> None:
         for i in range(n_requests):
-            query = pool[(client_index + i * args.clients) % len(pool)]
+            request = make_request(client_index + i * args.clients)
             try:
-                service.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
+                service.execute(request)
             except ServiceOverloadedError:
                 continue  # shed by admission control; reported via stats
             completed_per_client[client_index] += 1
@@ -426,8 +500,8 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     with QueryService(database) as service:
         # Warm caches and the shard pool before the measured phase.
-        for query in pool[: min(8, len(pool))]:
-            service.aknn(query, k=args.k, alpha=args.alpha, method=args.method)
+        for index in range(min(8, len(queries))):
+            service.execute(make_request(index))
 
         per_client = max(1, args.n_requests // args.clients)
         threads = [
@@ -448,7 +522,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     served = sum(completed_per_client)
     print(
         f"SERVE({attempted} requests, {args.clients} clients, k={args.k}, "
-        f"alpha={args.alpha}, method={args.method})"
+        f"alpha={args.alpha}, method={args.method}, mix={'+'.join(kinds)})"
     )
     print(
         f"throughput: {served / elapsed:.1f} queries/sec sustained "

@@ -5,8 +5,8 @@ which bundles the object store, the R-tree and the searchers behind a small
 API::
 
     db = FuzzyDatabase.build(objects, path="./db")
-    result = db.aknn(query, k=20, alpha=0.5)
-    ranges = db.rknn(query, k=20, alpha_range=(0.3, 0.6))
+    result = db.execute(AknnRequest(query, k=20, alpha=0.5))
+    ranges = db.execute(SweepRequest(query, k=20, alpha_range=(0.3, 0.6)))
 
 Lower-level pieces (individual search algorithms and their method variants)
 are exposed for experimentation and benchmarking:
@@ -19,6 +19,19 @@ are exposed for experimentation and benchmarking:
   baseline used as ground truth in tests.
 """
 
+from repro.core.requests import (
+    AknnMethod,
+    AknnRequest,
+    LegacyQueryAPIWarning,
+    QueryEngine,
+    QueryRequest,
+    RangeRequest,
+    ReverseMethod,
+    ReverseRequest,
+    SweepMethod,
+    SweepRequest,
+    register_planner,
+)
 from repro.core.results import (
     AKNNResult,
     BatchResult,
@@ -38,6 +51,17 @@ from repro.core.join import AlphaDistanceJoin, JoinResult, JOIN_METHODS
 from repro.core.reverse_nn import ReverseAKNNSearcher, ReverseKNNResult, REVERSE_METHODS
 
 __all__ = [
+    "AknnMethod",
+    "AknnRequest",
+    "LegacyQueryAPIWarning",
+    "QueryEngine",
+    "QueryRequest",
+    "RangeRequest",
+    "ReverseMethod",
+    "ReverseRequest",
+    "SweepMethod",
+    "SweepRequest",
+    "register_planner",
     "AKNNResult",
     "BatchResult",
     "Neighbor",

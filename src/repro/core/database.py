@@ -1,18 +1,28 @@
 """The top-level facade bundling store, index and searchers.
 
-:class:`FuzzyDatabase` is what most users interact with::
+:class:`FuzzyDatabase` is what most users interact with.  It implements the
+:class:`~repro.core.requests.QueryEngine` protocol — every query is a typed
+request executed through one surface::
 
-    from repro import FuzzyDatabase
+    from repro import AknnRequest, FuzzyDatabase, SweepRequest
 
     db = FuzzyDatabase.build(objects, path="cells.db")
-    result = db.aknn(query, k=20, alpha=0.5)
-    ranges = db.rknn(query, k=20, alpha_range=(0.3, 0.6))
+    result = db.execute(AknnRequest(query, k=20, alpha=0.5))
+    ranges = db.execute(SweepRequest(query, k=20, alpha_range=(0.3, 0.6)))
+    results = db.execute_batch(mixed_requests)  # types may mix freely
 
-It owns the object store (point sets on disk or in memory), the R-tree over
-per-object summaries, and one searcher per query type.  A database built on
-disk can be persisted (:meth:`FuzzyDatabase.save`) and re-opened later
-(:meth:`FuzzyDatabase.open`) without rebuilding summaries or re-fitting
-conservative lines.
+``execute_batch`` groups a mixed submission into per-type, per-bucket
+sub-batches (see :mod:`repro.core.requests`); requests sharing a
+``bucket_key()`` are answered by the corresponding shared engine (one R-tree
+traversal for an AKNN bucket, one filter matrix + verification traversal for
+a reverse bucket).  The old per-type methods (``aknn``, ``rknn``, ...)
+remain as deprecated shims delegating to ``execute``.
+
+The database owns the object store (point sets on disk or in memory), the
+R-tree over per-object summaries, and one searcher per query type.  A
+database built on disk can be persisted (:meth:`FuzzyDatabase.save`) and
+re-opened later (:meth:`FuzzyDatabase.open`) without rebuilding summaries or
+re-fitting conservative lines.
 """
 
 from __future__ import annotations
@@ -20,7 +30,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,13 +39,25 @@ from repro.core.aknn import AKNNSearcher
 from repro.core.executor import BatchQueryExecutor
 from repro.core.linear_scan import LinearScanSearcher
 from repro.core.range_search import AlphaRangeSearcher
+from repro.core.requests import (
+    AknnRequest,
+    QueryRequest,
+    RangeRequest,
+    ReverseMethod,
+    ReverseRequest,
+    SweepRequest,
+    execute_plan,
+    warn_legacy,
+)
 from repro.core.results import AKNNResult, BatchResult, RangeSearchResult, RKNNResult
 from repro.core.reverse_nn import ReverseAKNNSearcher, ReverseKNNResult
 from repro.core.rknn import RKNNSearcher
 from repro.exceptions import ObjectNotFoundError, StorageError
+from repro.fuzzy.alpha_distance import DistanceProfileStore
 from repro.fuzzy.fuzzy_object import FuzzyObject
 from repro.fuzzy.summary import FuzzyObjectSummary, build_summary
 from repro.index.rtree import RTree
+from repro.metrics.counters import MetricsCollector, SharedMetricsCollector
 from repro.storage.object_store import ObjectStore
 
 # File names used by save() / open().
@@ -58,14 +80,26 @@ class FuzzyDatabase:
         self.tree = tree
         self.summaries = summaries
         self.config = (config or RuntimeConfig()).validate()
+        # One d_alpha memo shared by the sweep searcher and the reverse
+        # engine: overlapping (query, object) evaluations are paid once.
+        self.profile_store = DistanceProfileStore(self.config.profile_cache_capacity)
         self._aknn = AKNNSearcher(store, tree, self.config)
-        self._rknn = RKNNSearcher(store, tree, self.config)
+        self._rknn = RKNNSearcher(
+            store, tree, self.config, profile_store=self.profile_store
+        )
         self._range = AlphaRangeSearcher(store, tree, self.config)
         self._linear = LinearScanSearcher(store, self.config)
         self._executor = BatchQueryExecutor(store, tree, self.config)
         self._reverse = ReverseAKNNSearcher(
-            store, tree, self.config, executor=self._executor
+            store,
+            tree,
+            self.config,
+            executor=self._executor,
+            profile_store=self.profile_store,
         )
+        # Request-planner telemetry (plan_groups / plan_requests / the shared
+        # batch counters), observable per database instance.
+        self.metrics = SharedMetricsCollector()
 
     # ------------------------------------------------------------------
     # Construction
@@ -143,7 +177,135 @@ class FuzzyDatabase:
         return cls(store, tree, summaries, config)
 
     # ------------------------------------------------------------------
-    # Queries
+    # The query surface (QueryEngine protocol)
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        request: QueryRequest,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """Answer one typed request (see :mod:`repro.core.requests`)."""
+        return execute_plan(self, [request], rng=rng)[0]
+
+    def execute_batch(
+        self,
+        requests: Iterable[QueryRequest],
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List:
+        """Answer a submission that may mix request types freely.
+
+        The planner groups the submission into per-type, per-``bucket_key()``
+        sub-batches; requests sharing a key are answered through the shared
+        engines (one R-tree traversal per AKNN bucket, one filter matrix +
+        one verification traversal per reverse bucket).  Results come back in
+        submission order.
+        """
+        return execute_plan(self, list(requests), rng=rng)
+
+    # Bucket hooks consumed by the planners in repro.core.requests.  A bucket
+    # of one runs the single-query searcher (bit-identical to the historical
+    # per-type methods); larger buckets run the shared batch engines.
+    def _execute_aknn_bucket(
+        self,
+        bucket: Sequence[AknnRequest],
+        rng: Optional[np.random.Generator],
+    ) -> List[AKNNResult]:
+        first = bucket[0]
+        if len(bucket) == 1:
+            return [
+                self._aknn.search(
+                    first.query, first.k, first.alpha,
+                    method=first.method.value, rng=rng,
+                )
+            ]
+        self.metrics.increment(MetricsCollector.BATCH_QUERIES, len(bucket))
+        batch = self._run_aknn_batch(
+            [request.query for request in bucket],
+            first.k,
+            first.alpha,
+            method=first.method.value,
+            rng=rng,
+        )
+        return batch.results
+
+    def _execute_range_bucket(
+        self,
+        bucket: Sequence[RangeRequest],
+        rng: Optional[np.random.Generator],
+    ) -> List[RangeSearchResult]:
+        return [
+            self._range.search(request.query, request.alpha, request.radius, rng=rng)
+            for request in bucket
+        ]
+
+    def _execute_sweep_bucket(
+        self,
+        bucket: Sequence[SweepRequest],
+        rng: Optional[np.random.Generator],
+    ) -> List[RKNNResult]:
+        return [
+            self._rknn.search(
+                request.query,
+                request.k,
+                request.alpha_range,
+                method=request.method.value,
+                aknn_method=request.aknn_method.value,
+                rng=rng,
+            )
+            for request in bucket
+        ]
+
+    def _execute_reverse_bucket(
+        self,
+        bucket: Sequence[ReverseRequest],
+        rng: Optional[np.random.Generator],
+    ) -> List[ReverseKNNResult]:
+        first = bucket[0]
+        self.metrics.increment(MetricsCollector.REVERSE_QUERIES, len(bucket))
+        if first.method is ReverseMethod.BATCH:
+            return self._reverse.search_batch(
+                [request.query for request in bucket], first.k, first.alpha, rng=rng
+            )
+        # linear / pruned exist as parity baselines; they share nothing.
+        return [
+            self._reverse.search(
+                request.query, request.k, request.alpha,
+                method=request.method.value, rng=rng,
+            )
+            for request in bucket
+        ]
+
+    def _run_aknn_batch(
+        self,
+        queries: Sequence[FuzzyObject],
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+        workers: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        initial_tau=None,
+        initial_exact=None,
+    ) -> BatchResult:
+        """The vectorized batch engine (internal; full :class:`BatchResult`).
+
+        One R-tree traversal is shared by the whole batch, all bounds are
+        evaluated as ``(batch, node)`` matrices, and every probed object is
+        fetched once; see :class:`~repro.core.executor.BatchQueryExecutor`.
+        Neighbour sets are identical to the single-query path up to distance
+        ties at the k-th rank (the batch engine breaks ties by object id,
+        the single-query searchers by traversal order).  ``initial_tau`` /
+        ``initial_exact`` forward externally-bootstrapped per-query pruning
+        radii (used by the sharded fan-out and the reverse verifier).
+        """
+        return self._executor.aknn_batch(
+            list(queries), k, alpha, method=method, workers=workers, rng=rng,
+            initial_tau=initial_tau, initial_exact=initial_exact,
+        )
+
+    # ------------------------------------------------------------------
+    # Deprecated per-type shims (delegate to the request surface)
     # ------------------------------------------------------------------
     def aknn(
         self,
@@ -153,8 +315,11 @@ class FuzzyDatabase:
         method: str = "lb_lp_ub",
         rng: Optional[np.random.Generator] = None,
     ) -> AKNNResult:
-        """Ad-hoc kNN query (Definition 4)."""
-        return self._aknn.search(query, k, alpha, method=method, rng=rng)
+        """Deprecated: use ``execute(AknnRequest(...))``."""
+        warn_legacy("FuzzyDatabase.aknn()", "execute(AknnRequest(...))")
+        return self.execute(
+            AknnRequest(query, k=k, alpha=alpha, method=method), rng=rng
+        )
 
     def aknn_batch(
         self,
@@ -167,21 +332,17 @@ class FuzzyDatabase:
         initial_tau=None,
         initial_exact=None,
     ) -> BatchResult:
-        """Answer a batch of AKNN queries through the vectorized executor.
+        """Deprecated: use ``execute_batch([AknnRequest(...), ...])``.
 
-        One R-tree traversal is shared by the whole batch, all bounds are
-        evaluated as ``(batch, node)`` matrices, and every probed object is
-        fetched once; see :class:`~repro.core.executor.BatchQueryExecutor`.
-        Neighbour sets are identical to looping :meth:`aknn` per query, up to
-        ties: when several objects sit at exactly the k-th distance, any of
-        the equally-correct k-sets may be returned (the batch engine breaks
-        ties by object id, the single-query searchers by traversal order).
-        ``initial_tau`` forwards externally-bootstrapped per-query pruning
-        radii to the executor (used by the sharded fan-out; see
-        :meth:`BatchQueryExecutor.aknn_batch`).
+        Kept for the batch-level :class:`BatchResult` telemetry (aggregate
+        stats + throughput); the unified surface returns plain per-request
+        results instead.
         """
-        return self._executor.aknn_batch(
-            list(queries), k, alpha, method=method, workers=workers, rng=rng,
+        warn_legacy(
+            "FuzzyDatabase.aknn_batch()", "execute_batch([AknnRequest(...), ...])"
+        )
+        return self._run_aknn_batch(
+            queries, k, alpha, method=method, workers=workers, rng=rng,
             initial_tau=initial_tau, initial_exact=initial_exact,
         )
 
@@ -194,9 +355,14 @@ class FuzzyDatabase:
         aknn_method: str = "lb_lp_ub",
         rng: Optional[np.random.Generator] = None,
     ) -> RKNNResult:
-        """Range kNN query (Definition 5)."""
-        return self._rknn.search(
-            query, k, alpha_range, method=method, aknn_method=aknn_method, rng=rng
+        """Deprecated: use ``execute(SweepRequest(...))``."""
+        warn_legacy("FuzzyDatabase.rknn()", "execute(SweepRequest(...))")
+        return self.execute(
+            SweepRequest(
+                query, k=k, alpha_range=tuple(alpha_range),
+                method=method, aknn_method=aknn_method,
+            ),
+            rng=rng,
         )
 
     def range_search(
@@ -206,8 +372,11 @@ class FuzzyDatabase:
         radius: float,
         rng: Optional[np.random.Generator] = None,
     ) -> RangeSearchResult:
-        """All objects within ``radius`` of the query at threshold ``alpha``."""
-        return self._range.search(query, alpha, radius, rng=rng)
+        """Deprecated: use ``execute(RangeRequest(...))``."""
+        warn_legacy("FuzzyDatabase.range_search()", "execute(RangeRequest(...))")
+        return self.execute(
+            RangeRequest(query, alpha=alpha, radius=radius), rng=rng
+        )
 
     def reverse_aknn(
         self,
@@ -217,16 +386,11 @@ class FuzzyDatabase:
         method: str = "pruned",
         rng: Optional[np.random.Generator] = None,
     ) -> ReverseKNNResult:
-        """Reverse AKNN query: objects that count ``query`` among their k nearest.
-
-        ``method`` selects ``"linear"`` (exhaustive verification),
-        ``"pruned"`` (summary filter, then one single-query AKNN per
-        candidate) or ``"batch"`` (vectorized all-pairs filter, then one
-        shared batch traversal verifying every candidate; see
-        :mod:`repro.core.reverse_nn`).  All three return identical
-        reverse-neighbour sets.
-        """
-        return self._reverse.search(query, k, alpha, method=method, rng=rng)
+        """Deprecated: use ``execute(ReverseRequest(...))``."""
+        warn_legacy("FuzzyDatabase.reverse_aknn()", "execute(ReverseRequest(...))")
+        return self.execute(
+            ReverseRequest(query, k=k, alpha=alpha, method=method), rng=rng
+        )
 
     def reverse_aknn_batch(
         self,
@@ -235,14 +399,18 @@ class FuzzyDatabase:
         alpha: float,
         rng: Optional[np.random.Generator] = None,
     ) -> List[ReverseKNNResult]:
-        """Answer a bucket of reverse AKNN queries sharing ``(k, alpha)``.
-
-        The whole bucket shares the vectorized candidate filter's all-pairs
-        MaxDist matrix and one batch traversal verifying the union of every
-        query's candidates; results are identical to calling
-        :meth:`reverse_aknn` per query.
-        """
-        return self._reverse.search_batch(list(queries), k, alpha, rng=rng)
+        """Deprecated: use ``execute_batch([ReverseRequest(...), ...])``."""
+        warn_legacy(
+            "FuzzyDatabase.reverse_aknn_batch()",
+            "execute_batch([ReverseRequest(...), ...])",
+        )
+        return self.execute_batch(
+            [
+                ReverseRequest(query, k=k, alpha=alpha, method=ReverseMethod.BATCH)
+                for query in queries
+            ],
+            rng=rng,
+        )
 
     def distance_join(
         self,

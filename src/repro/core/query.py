@@ -54,9 +54,20 @@ class PreparedQuery:
 
         self.query_cut = query.alpha_cut(alpha)
         self.query_mbr = MBR.from_points(self.query_cut)
-        self.query_samples = query.sample_alpha_cut(
-            alpha, self.config.upper_bound_samples, rng
-        )
+        # Q'_alpha is only consumed by the Lemma-1 upper bound; the reverse
+        # filter/verify paths never read it, so the sampling (and its rng
+        # draws) is deferred until the first access.
+        self._rng = rng
+        self._query_samples: Optional[np.ndarray] = None
+
+    @property
+    def query_samples(self) -> np.ndarray:
+        """``Q'_alpha`` — the Lemma-1 sample of the alpha-cut (lazily drawn)."""
+        if self._query_samples is None:
+            self._query_samples = self.query.sample_alpha_cut(
+                self.alpha, self.config.upper_bound_samples, self._rng
+            )
+        return self._query_samples
 
     # ------------------------------------------------------------------
     # Bounds against index entries
@@ -146,7 +157,12 @@ class PreparedQuery:
         )
 
     def __repr__(self) -> str:
+        samples = (
+            "unsampled"
+            if self._query_samples is None
+            else str(self._query_samples.shape[0])
+        )
         return (
             f"PreparedQuery(alpha={self.alpha}, cut={self.query_cut.shape[0]} pts, "
-            f"samples={self.query_samples.shape[0]})"
+            f"samples={samples})"
         )

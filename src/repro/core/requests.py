@@ -1,0 +1,442 @@
+"""One query surface: typed requests, the ``QueryEngine`` protocol, and plans.
+
+Every query the system answers is described by one frozen request dataclass —
+:class:`AknnRequest`, :class:`RangeRequest`, :class:`SweepRequest` (the
+paper's alpha-range kNN) and :class:`ReverseRequest` — carrying its full
+parameterisation: the query fuzzy object, ``k`` / ``radius`` / ``alpha``, and
+a method *enum* instead of a magic string.  Engines expose exactly two entry
+points (:class:`QueryEngine`)::
+
+    from repro import AknnRequest, RangeRequest, ReverseRequest
+
+    result = db.execute(AknnRequest(query, k=20, alpha=0.5))
+    results = db.execute_batch([
+        AknnRequest(q1, k=20, alpha=0.5),
+        AknnRequest(q2, k=20, alpha=0.5),      # same bucket: shares a traversal
+        ReverseRequest(q3, k=8, alpha=0.5),
+        RangeRequest(q4, alpha=0.5, radius=3.0),
+    ])
+
+A batch may mix request types freely.  :func:`execute_plan` — the shared
+``execute_batch`` implementation behind :class:`~repro.core.database.FuzzyDatabase`,
+:class:`~repro.service.sharded.ShardedDatabase` and
+:class:`~repro.service.query_service.QueryService` — groups the submission
+into per-type, per-:meth:`~QueryRequest.bucket_key` sub-batches, hands each
+group to the planner registered for its request type, and scatters the
+results back into submission order.  Requests sharing a bucket key are
+answered through the corresponding shared engine (one R-tree traversal for an
+AKNN bucket, one filter matrix + one verification traversal for a reverse
+bucket); the same keys drive the query service's coalescer, so a request
+type defined once coalesces correctly at every layer.
+
+A future query family plugs in at one place: define the request dataclass
+(with ``bucket_key``) and call :func:`register_planner` with a callable
+``(engine, requests, rng) -> results``; every engine's ``execute`` /
+``execute_batch`` and the service coalescer pick it up without edits.
+
+The old per-type methods (``db.aknn(...)``, ``service.submit(...)``, ...)
+remain as thin deprecated shims delegating to this surface; they warn with
+:class:`LegacyQueryAPIWarning` (a :class:`DeprecationWarning`), which CI
+escalates to an error for in-repo callers.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from enum import Enum
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Type,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.exceptions import InvalidQueryError
+from repro.fuzzy.fuzzy_object import FuzzyObject
+
+
+class LegacyQueryAPIWarning(DeprecationWarning):
+    """Warned by the deprecated per-type query methods.
+
+    A subclass of :class:`DeprecationWarning` so generic tooling treats it as
+    a deprecation, while exactly this category can be escalated to an error
+    without tripping over third-party deprecations.  Escalate it
+    programmatically — ``warnings.simplefilter("error",
+    LegacyQueryAPIWarning)``, as ``scripts/deprecation_smoke.py`` does in CI
+    — because ``PYTHONWARNINGS`` / ``-W`` resolve custom categories during
+    early interpreter startup, before this package is importable.
+    """
+
+
+def warn_legacy(old: str, new: str) -> None:
+    """Emit the deprecation warning for one legacy entry point."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} on the unified request surface instead",
+        LegacyQueryAPIWarning,
+        stacklevel=3,
+    )
+
+
+# ----------------------------------------------------------------------
+# Method enums (no more stringly-typed ``method=`` kwargs)
+# ----------------------------------------------------------------------
+class AknnMethod(str, Enum):
+    """AKNN search variants (Section 3): each adds one optimisation."""
+
+    BASIC = "basic"
+    LB = "lb"
+    LB_LP = "lb_lp"
+    LB_LP_UB = "lb_lp_ub"
+
+
+class SweepMethod(str, Enum):
+    """Alpha-range kNN sweep variants (Section 4, Algorithms 3-5)."""
+
+    NAIVE = "naive"
+    BASIC = "basic"
+    RSS = "rss"
+    RSS_ICR = "rss_icr"
+
+
+class ReverseMethod(str, Enum):
+    """Reverse AKNN strategies (:mod:`repro.core.reverse_nn`)."""
+
+    LINEAR = "linear"
+    PRUNED = "pruned"
+    BATCH = "batch"
+
+
+def _coerce_enum(enum_cls: Type[Enum], value: Any, what: str) -> Enum:
+    """Accept either the enum member or its string value."""
+    if isinstance(value, enum_cls):
+        return value
+    try:
+        return enum_cls(str(value))
+    except ValueError:
+        options = tuple(member.value for member in enum_cls)
+        raise InvalidQueryError(
+            f"unknown {what} {value!r}; expected one of {options}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Request dataclasses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryRequest:
+    """Base of every typed query request.
+
+    Frozen: a request is an immutable value that can be hashed into the
+    coalescer's bucket table, retried, or logged without defensive copies.
+    Subclasses normalise their parameters in ``__post_init__`` (ints, floats,
+    enums) so :meth:`bucket_key` is stable across spellings — ``k=20`` and
+    ``k=np.int64(20)`` land in the same bucket.
+    """
+
+    query: FuzzyObject
+
+    def bucket_key(self) -> Tuple:
+        """Hashable key grouping requests that may share one execution.
+
+        Requests with equal keys are answered together by the planner (one
+        shared traversal where the engine supports it) and coalesce into the
+        same service bucket.  The key never includes the query object itself
+        — only the parameters execution sharing depends on.
+        """
+        raise NotImplementedError
+
+    def _validate_alpha(self, alpha: float) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise InvalidQueryError(f"alpha must be in (0, 1], got {alpha}")
+
+    def _validate_k(self, k: int) -> None:
+        if k <= 0:
+            raise InvalidQueryError(f"k must be positive, got {k}")
+
+
+@dataclass(frozen=True)
+class AknnRequest(QueryRequest):
+    """Ad-hoc kNN query (Definition 4) at one probability threshold."""
+
+    k: int = 1
+    alpha: float = 0.5
+    method: AknnMethod = AknnMethod.LB_LP_UB
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "k", int(self.k))
+        object.__setattr__(self, "alpha", float(self.alpha))
+        object.__setattr__(
+            self, "method", _coerce_enum(AknnMethod, self.method, "AKNN method")
+        )
+        self._validate_k(self.k)
+        self._validate_alpha(self.alpha)
+
+    def bucket_key(self) -> Tuple:
+        return ("aknn", self.k, self.alpha, self.method.value)
+
+
+@dataclass(frozen=True)
+class RangeRequest(QueryRequest):
+    """All objects within ``radius`` of the query at threshold ``alpha``."""
+
+    alpha: float = 0.5
+    radius: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "alpha", float(self.alpha))
+        object.__setattr__(self, "radius", float(self.radius))
+        self._validate_alpha(self.alpha)
+        if not np.isfinite(self.radius) or self.radius < 0.0:
+            raise InvalidQueryError(
+                f"radius must be finite and non-negative, got {self.radius}"
+            )
+
+    def bucket_key(self) -> Tuple:
+        return ("range", self.alpha, self.radius)
+
+
+@dataclass(frozen=True)
+class SweepRequest(QueryRequest):
+    """The paper's alpha-range kNN query (Definition 5): sweep a threshold
+    interval and report, per qualifying object, its qualifying sub-ranges."""
+
+    k: int = 1
+    alpha_range: Tuple[float, float] = (0.4, 0.6)
+    method: SweepMethod = SweepMethod.RSS_ICR
+    aknn_method: AknnMethod = AknnMethod.LB_LP_UB
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "k", int(self.k))
+        start, end = (float(self.alpha_range[0]), float(self.alpha_range[1]))
+        object.__setattr__(self, "alpha_range", (start, end))
+        object.__setattr__(
+            self, "method", _coerce_enum(SweepMethod, self.method, "sweep method")
+        )
+        object.__setattr__(
+            self,
+            "aknn_method",
+            _coerce_enum(AknnMethod, self.aknn_method, "AKNN method"),
+        )
+        self._validate_k(self.k)
+        if not 0.0 < start <= 1.0 or not 0.0 < end <= 1.0:
+            raise InvalidQueryError(
+                f"alpha range endpoints must be in (0, 1], got {self.alpha_range}"
+            )
+        if end < start:
+            raise InvalidQueryError(
+                f"alpha range start {start} exceeds end {end}"
+            )
+
+    def bucket_key(self) -> Tuple:
+        return (
+            "sweep",
+            self.k,
+            self.alpha_range[0],
+            self.alpha_range[1],
+            self.method.value,
+            self.aknn_method.value,
+        )
+
+
+@dataclass(frozen=True)
+class ReverseRequest(QueryRequest):
+    """Reverse AKNN: objects counting the query among their own k nearest."""
+
+    k: int = 1
+    alpha: float = 0.5
+    method: ReverseMethod = ReverseMethod.BATCH
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "k", int(self.k))
+        object.__setattr__(self, "alpha", float(self.alpha))
+        object.__setattr__(
+            self, "method", _coerce_enum(ReverseMethod, self.method, "reverse method")
+        )
+        self._validate_k(self.k)
+        self._validate_alpha(self.alpha)
+
+    def bucket_key(self) -> Tuple:
+        return ("reverse", self.k, self.alpha, self.method.value)
+
+
+# ----------------------------------------------------------------------
+# The engine protocol
+# ----------------------------------------------------------------------
+@runtime_checkable
+class QueryEngine(Protocol):
+    """What every query-answering layer exposes: two entry points.
+
+    ``execute`` answers one request; ``execute_batch`` answers a submission
+    that may freely mix request types, grouped internally into per-type,
+    per-bucket sub-batches.  Results come back in submission order, one per
+    request, with the same result types the per-type methods used to return
+    (:class:`~repro.core.results.AKNNResult`,
+    :class:`~repro.core.results.RangeSearchResult`,
+    :class:`~repro.core.results.RKNNResult`,
+    :class:`~repro.core.reverse_nn.ReverseKNNResult`).
+    """
+
+    def execute(
+        self,
+        request: QueryRequest,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Any:
+        ...
+
+    def execute_batch(
+        self,
+        requests: Sequence[QueryRequest],
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[Any]:
+        ...
+
+
+# ----------------------------------------------------------------------
+# Planner registry: request type -> bucket planner
+# ----------------------------------------------------------------------
+#: A planner answers one homogeneous bucket (equal ``bucket_key()``) against
+#: one engine and returns one result per request, in bucket order.
+Planner = Callable[
+    [Any, Sequence[QueryRequest], Optional[np.random.Generator]], List[Any]
+]
+
+_PLANNERS: Dict[Type[QueryRequest], Planner] = {}
+
+
+def register_planner(request_type: Type[QueryRequest], planner: Planner) -> None:
+    """Register (or replace) the planner for one request type.
+
+    This is the single extension point for new query families: engines never
+    switch on request types themselves — they look the planner up here.
+    """
+    _PLANNERS[request_type] = planner
+
+
+def planner_for(request_type: Type[QueryRequest]) -> Planner:
+    """The registered planner for ``request_type`` (exact type match)."""
+    planner = _PLANNERS.get(request_type)
+    if planner is None:
+        raise InvalidQueryError(
+            f"no planner registered for request type {request_type.__name__}; "
+            f"known types: {sorted(t.__name__ for t in _PLANNERS)}"
+        )
+    return planner
+
+
+def registered_request_types() -> List[Type[QueryRequest]]:
+    """Every request type with a registered planner (introspection/tests)."""
+    return list(_PLANNERS)
+
+
+def group_requests(
+    requests: Sequence[QueryRequest],
+) -> List[Tuple[Type[QueryRequest], Tuple, List[int]]]:
+    """Stable per-type, per-bucket grouping of a mixed submission.
+
+    Returns ``(request type, bucket key, original indices)`` triples in
+    first-seen order; within a group the indices preserve submission order,
+    which planners rely on when distributing shared-batch results.
+    """
+    groups: Dict[Tuple[Type[QueryRequest], Tuple], List[int]] = {}
+    for index, request in enumerate(requests):
+        if not isinstance(request, QueryRequest):
+            raise InvalidQueryError(
+                f"expected a QueryRequest, got {type(request).__name__}"
+            )
+        groups.setdefault((type(request), request.bucket_key()), []).append(index)
+    return [(rtype, key, indices) for (rtype, key), indices in groups.items()]
+
+
+def execute_plan(
+    engine: Any,
+    requests: Sequence[QueryRequest],
+    rng: Optional[np.random.Generator] = None,
+) -> List[Any]:
+    """The shared ``execute_batch`` implementation.
+
+    Groups the submission with :func:`group_requests`, runs the registered
+    planner per group, and scatters the per-group answers back into
+    submission order.  When the engine carries a ``metrics`` collector, the
+    plan shape is recorded under the ``plan_groups`` / ``plan_requests``
+    counters — the observable evidence that requests sharing a bucket key
+    were answered by one shared sub-batch.
+    """
+    requests = list(requests)
+    if not requests:
+        return []
+    grouped = group_requests(requests)
+    metrics = getattr(engine, "metrics", None)
+    if metrics is not None:
+        from repro.metrics.counters import MetricsCollector
+
+        metrics.increment(MetricsCollector.PLAN_GROUPS, len(grouped))
+        metrics.increment(MetricsCollector.PLAN_REQUESTS, len(requests))
+    results: List[Any] = [None] * len(requests)
+    for request_type, _key, indices in grouped:
+        planner = planner_for(request_type)
+        bucket = [requests[i] for i in indices]
+        answers = planner(engine, bucket, rng)
+        if len(answers) != len(bucket):
+            raise InvalidQueryError(
+                f"planner for {request_type.__name__} returned {len(answers)} "
+                f"results for {len(bucket)} requests"
+            )
+        for index, answer in zip(indices, answers):
+            results[index] = answer
+    return results
+
+
+# ----------------------------------------------------------------------
+# Built-in planners
+# ----------------------------------------------------------------------
+# Each delegates to a per-engine bucket hook; the hooks are the narrow
+# capability surface FuzzyDatabase and ShardedDatabase implement (the query
+# service implements QueryEngine by coalescing into buckets and flushing each
+# through its database's execute_batch, so it never reaches these directly).
+def _plan_aknn(
+    engine: Any,
+    bucket: Sequence[AknnRequest],
+    rng: Optional[np.random.Generator],
+) -> List[Any]:
+    return engine._execute_aknn_bucket(bucket, rng)
+
+
+def _plan_range(
+    engine: Any,
+    bucket: Sequence[RangeRequest],
+    rng: Optional[np.random.Generator],
+) -> List[Any]:
+    return engine._execute_range_bucket(bucket, rng)
+
+
+def _plan_sweep(
+    engine: Any,
+    bucket: Sequence[SweepRequest],
+    rng: Optional[np.random.Generator],
+) -> List[Any]:
+    return engine._execute_sweep_bucket(bucket, rng)
+
+
+def _plan_reverse(
+    engine: Any,
+    bucket: Sequence[ReverseRequest],
+    rng: Optional[np.random.Generator],
+) -> List[Any]:
+    return engine._execute_reverse_bucket(bucket, rng)
+
+
+register_planner(AknnRequest, _plan_aknn)
+register_planner(RangeRequest, _plan_range)
+register_planner(SweepRequest, _plan_sweep)
+register_planner(ReverseRequest, _plan_reverse)

@@ -57,7 +57,7 @@ from repro.core.executor import BatchQueryExecutor, _exact_min_distances
 from repro.core.query import PreparedQuery
 from repro.core.results import QueryStats
 from repro.exceptions import InvalidQueryError
-from repro.fuzzy.alpha_distance import alpha_distance_points
+from repro.fuzzy.alpha_distance import DistanceProfileStore, alpha_distance_points
 from repro.fuzzy.fuzzy_object import FuzzyObject
 from repro.geometry.mbr import max_dist, min_dist
 from repro.index.rtree import RTree
@@ -100,6 +100,8 @@ def bucket_candidate_distances(
     union: np.ndarray,
     cand_cuts: Sequence[np.ndarray],
     metrics: Optional[MetricsCollector] = None,
+    cand_ids: Optional[Sequence[int]] = None,
+    profile_store: Optional["DistanceProfileStore"] = None,
 ) -> Tuple[List[np.ndarray], List[np.ndarray], np.ndarray]:
     """Exact per-query candidate distances plus the bucket's shared radii.
 
@@ -107,26 +109,151 @@ def bucket_candidate_distances(
     candidates and their exact ``d_alpha(A, Q)`` values; ``tau`` is the
     per-candidate maximum over the bucket, the valid truncation radius for
     the shared verification traversal (see :func:`membership_from_neighbors`).
+
+    When ``profile_store`` (and the aligned ``cand_ids``) are given, each
+    (query, candidate) evaluation is served from the shared
+    :class:`~repro.fuzzy.alpha_distance.DistanceProfileStore` memo when
+    possible — a distance profile materialised by the RKNN sweep searcher for
+    the same query instance answers it for free — and every freshly computed
+    distance is memoised back, so overlapping evaluations between the sweep
+    and reverse engines are paid once per pair.
     """
     per_query_cols: List[np.ndarray] = []
     per_query_dists: List[np.ndarray] = []
     tau = np.zeros(union.shape[0])
+    memo = profile_store if cand_ids is not None else None
     for qi, query in enumerate(prepared):
         cols = np.flatnonzero(masks[qi][union])
+        dists = np.empty(cols.shape[0])
+        # Per-pair lookups only pay off for a query instance the store has
+        # already seen (a sweep or an earlier reverse call); a fresh query
+        # object — the common serving case — can never hit, so it keeps the
+        # one-shot vectorized evaluation path regardless of what other
+        # queries have cached.
+        use_memo = memo is not None and memo.has_query(query.query)
         if cols.shape[0]:
-            dists = _exact_min_distances(
-                query.query_cut, [cand_cuts[j] for j in cols]
-            )
-            if metrics is not None:
-                metrics.increment(
-                    MetricsCollector.DISTANCE_EVALUATIONS, int(cols.shape[0])
-                )
+            if not use_memo:
+                pending = list(range(cols.shape[0]))
+                pending_cuts = [cand_cuts[j] for j in cols.tolist()]
+            else:
+                pending = []
+                pending_cuts = []
+                for pos, col in enumerate(cols.tolist()):
+                    cached = memo.distance_at(
+                        query.query, cand_ids[col], query.alpha
+                    )
+                    if cached is None:
+                        pending.append(pos)
+                        pending_cuts.append(cand_cuts[col])
+                    else:
+                        dists[pos] = cached
+            if pending:
+                computed = _exact_min_distances(query.query_cut, pending_cuts)
+                if metrics is not None:
+                    metrics.increment(
+                        MetricsCollector.DISTANCE_EVALUATIONS, len(pending)
+                    )
+                dists[np.asarray(pending, dtype=np.intp)] = computed
+                if use_memo:
+                    for pos, value in zip(pending, computed.tolist()):
+                        memo.insert_distance(
+                            query.query,
+                            cand_ids[int(cols[pos])],
+                            query.alpha,
+                            value,
+                        )
             np.maximum.at(tau, cols, dists)
-        else:
-            dists = np.empty(0)
         per_query_cols.append(cols)
         per_query_dists.append(dists)
     return per_query_cols, per_query_dists, tau
+
+
+def query_filter_thresholds(
+    prepared: Sequence[PreparedQuery],
+    box_lo: np.ndarray,
+    box_hi: np.ndarray,
+) -> np.ndarray:
+    """Per-(query, row) disqualification thresholds for the all-pairs filter.
+
+    Row ``(q, A)`` is ``MinDist(M_A(alpha)*, M_Q(alpha))`` — the value the
+    ``certainly_closer_counts`` kernel compares ``MaxDist(M_A*, M_B*)``
+    against.  Shared by the unsharded filter and the sharded per-shard
+    fan-out (which evaluates the same thresholds against the global box set).
+    """
+    return min_dist_to_boxes(
+        np.stack([p.query_mbr.lower for p in prepared]),
+        np.stack([p.query_mbr.upper for p in prepared]),
+        box_lo,
+        box_hi,
+    )
+
+
+@dataclass
+class BucketVerificationPlan:
+    """Candidate-side state shared by one bucket's verification traversal.
+
+    Produced by :func:`plan_bucket_verification`; consumed by both the
+    unsharded reverse engine and the sharded fan-out, which only differ in
+    *where* the verification batch runs (one executor vs every shard).
+    """
+
+    union: np.ndarray
+    cand_ids: List[int]
+    cand_objs: List[FuzzyObject]
+    per_query_cols: List[np.ndarray]
+    per_query_dists: List[np.ndarray]
+    tau: np.ndarray
+    seeds: List[Dict[int, float]]
+
+    @property
+    def probes(self) -> List[int]:
+        """Exact candidate probes attributable to each query."""
+        return [int(cols.shape[0]) for cols in self.per_query_cols]
+
+
+def plan_bucket_verification(
+    prepared: Sequence[PreparedQuery],
+    masks: np.ndarray,
+    ids: np.ndarray,
+    fetch_object,
+    alpha: float,
+    metrics: Optional[MetricsCollector] = None,
+    profile_store: Optional["DistanceProfileStore"] = None,
+) -> Optional[BucketVerificationPlan]:
+    """Candidate prep for a reverse bucket's shared verification traversal.
+
+    Materialises the union of every query's surviving candidates (``masks``
+    over the global row array ``ids``; ``fetch_object(row)`` resolves one row
+    to its object, wherever it is stored), evaluates the per-query exact
+    distances, and derives the bucket-wide truncation radii ``tau`` plus the
+    per-candidate self-distance seeds handed to the batch executor.  Returns
+    ``None`` when no candidate survives anywhere in the bucket.
+    """
+    union = np.flatnonzero(masks.any(axis=0))
+    if union.shape[0] == 0:
+        return None
+    cand_ids = [int(ids[j]) for j in union]
+    cand_objs = [fetch_object(int(j)) for j in union]
+    cand_cuts = [obj.alpha_cut(alpha) for obj in cand_objs]
+    per_query_cols, per_query_dists, tau = bucket_candidate_distances(
+        prepared,
+        masks,
+        union,
+        cand_cuts,
+        metrics,
+        cand_ids=cand_ids,
+        profile_store=profile_store,
+    )
+    seeds = [{object_id: 0.0} for object_id in cand_ids]
+    return BucketVerificationPlan(
+        union=union,
+        cand_ids=cand_ids,
+        cand_objs=cand_objs,
+        per_query_cols=per_query_cols,
+        per_query_dists=per_query_dists,
+        tau=tau,
+        seeds=seeds,
+    )
 
 
 def build_bucket_results(
@@ -224,6 +351,7 @@ class ReverseAKNNSearcher:
         tree: RTree,
         config: Optional[RuntimeConfig] = None,
         executor: Optional[BatchQueryExecutor] = None,
+        profile_store: Optional[DistanceProfileStore] = None,
     ):
         self.store = store
         self.tree = tree
@@ -232,6 +360,14 @@ class ReverseAKNNSearcher:
         # The batch method verifies through a shared executor; passing the
         # database's own instance reuses its representative-index cache.
         self.executor = executor or BatchQueryExecutor(store, tree, self.config)
+        # d_alpha(A, Q) memo shared with the RKNN sweep searcher (the
+        # database hands both the same store): a profile the sweep computed
+        # answers a reverse evaluation for free, and vice versa the scalar
+        # memo dedupes repeated reverse submissions of one query instance.
+        # (Explicit None check: an empty store is falsy via __len__.)
+        if profile_store is None:
+            profile_store = DistanceProfileStore(self.config.profile_cache_capacity)
+        self.profile_store = profile_store
 
     # ------------------------------------------------------------------
     # Public API
@@ -344,10 +480,17 @@ class ReverseAKNNSearcher:
         distances: Dict[int, float] = {}
         for object_id in candidate_ids:
             candidate = self.store.get(object_id)
-            metrics.increment(MetricsCollector.DISTANCE_EVALUATIONS)
-            distance_to_query = alpha_distance_points(
-                candidate.alpha_cut(alpha), query_cut, use_kdtree=self.config.use_kdtree
-            )
+            distance_to_query = self.profile_store.distance_at(query, object_id, alpha)
+            if distance_to_query is None:
+                metrics.increment(MetricsCollector.DISTANCE_EVALUATIONS)
+                distance_to_query = alpha_distance_points(
+                    candidate.alpha_cut(alpha),
+                    query_cut,
+                    use_kdtree=self.config.use_kdtree,
+                )
+                self.profile_store.insert_distance(
+                    query, object_id, alpha, distance_to_query
+                )
             # Q is among the candidate's k nearest neighbours iff fewer than k
             # dataset objects (excluding the candidate itself) are strictly
             # closer to it than Q.  Ask the index for the candidate's k+1
@@ -463,12 +606,7 @@ class ReverseAKNNSearcher:
         n = ids.shape[0]
         if n == 0:
             return np.zeros((len(prepared), 0), dtype=bool)
-        thresholds = min_dist_to_boxes(
-            np.stack([p.query_mbr.lower for p in prepared]),
-            np.stack([p.query_mbr.upper for p in prepared]),
-            box_lo,
-            box_hi,
-        )
+        thresholds = query_filter_thresholds(prepared, box_lo, box_hi)
         counts = certainly_closer_counts(
             box_lo, box_hi, box_lo, box_hi, thresholds, self_index=np.arange(n)
         )
@@ -492,33 +630,34 @@ class ReverseAKNNSearcher:
         Returns per-query memberships and distance maps plus the number of
         exact candidate probes each query paid (its attributable cost share).
         """
-        union = np.flatnonzero(masks.any(axis=0))
-        if union.shape[0] == 0:
+        # d_alpha(A, Q) per (query, its candidates); the per-candidate radius
+        # handed to the executor is the maximum over the bucket, which keeps
+        # every query's truncated decision exact (see membership_from_neighbors).
+        plan = plan_bucket_verification(
+            prepared,
+            masks,
+            ids,
+            lambda row: self.store.get(int(ids[row])),
+            alpha,
+            metrics,
+            profile_store=self.profile_store,
+        )
+        if plan is None:
             n_queries = len(prepared)
             return (
                 [[] for _ in range(n_queries)],
                 [dict() for _ in range(n_queries)],
                 [0] * n_queries,
             )
-        cand_ids = [int(ids[j]) for j in union]
-        cand_objs = [self.store.get(object_id) for object_id in cand_ids]
-        cand_cuts = [obj.alpha_cut(alpha) for obj in cand_objs]
-
-        # d_alpha(A, Q) per (query, its candidates); the per-candidate radius
-        # handed to the executor is the maximum over the bucket, which keeps
-        # every query's truncated decision exact (see membership_from_neighbors).
-        per_query_cols, per_query_dists, tau = bucket_candidate_distances(
-            prepared, masks, union, cand_cuts, metrics
-        )
         batch = self.executor.aknn_batch(
-            cand_objs,
+            plan.cand_objs,
             k + 1,
             alpha,
             rng=rng,
-            initial_tau=tau,
-            initial_exact=[{object_id: 0.0} for object_id in cand_ids],
+            initial_tau=plan.tau,
+            initial_exact=plan.seeds,
         )
-        metrics.increment(MetricsCollector.REVERSE_CANDIDATES, len(cand_ids))
+        metrics.increment(MetricsCollector.REVERSE_CANDIDATES, len(plan.cand_ids))
         metrics.increment(
             MetricsCollector.NODE_ACCESSES, batch.stats.node_accesses
         )
@@ -527,9 +666,9 @@ class ReverseAKNNSearcher:
         )
         memberships, distances = collect_memberships(
             k,
-            cand_ids,
+            plan.cand_ids,
             [result.neighbors for result in batch.results],
-            per_query_cols,
-            per_query_dists,
+            plan.per_query_cols,
+            plan.per_query_dists,
         )
-        return memberships, distances, [int(cols.shape[0]) for cols in per_query_cols]
+        return memberships, distances, plan.probes

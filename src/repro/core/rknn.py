@@ -80,13 +80,24 @@ class RKNNSearcher:
         Runtime knobs shared with the underlying AKNN / range searchers.
     """
 
-    def __init__(self, store: ObjectStore, tree, config: Optional[RuntimeConfig] = None):
+    def __init__(
+        self,
+        store: ObjectStore,
+        tree,
+        config: Optional[RuntimeConfig] = None,
+        profile_store: Optional[DistanceProfileStore] = None,
+    ):
         self.store = store
         self.tree = tree
         self.config = (config or RuntimeConfig()).validate()
         self.aknn_searcher = AKNNSearcher(store, tree, self.config)
         self.range_searcher = AlphaRangeSearcher(store, tree, self.config)
-        self.profile_store = DistanceProfileStore(self.config.profile_cache_capacity)
+        # The database shares one store between this sweep searcher and the
+        # reverse engine, so overlapping d_alpha(A, Q) work is paid once.
+        # (Explicit None check: an empty store is falsy via __len__.)
+        if profile_store is None:
+            profile_store = DistanceProfileStore(self.config.profile_cache_capacity)
+        self.profile_store = profile_store
 
     # ------------------------------------------------------------------
     # Public API

@@ -129,6 +129,24 @@ class DistanceProfileStore:
         self._cache: LRUCache[
             Tuple[int, int, Optional[float]], Tuple[FuzzyObject, DistanceProfile]
         ] = LRUCache(capacity)
+        # Scalar d_alpha memo for callers that never need a full profile (the
+        # reverse engine), plus a per-pair pointer to the widest cached
+        # profile, so a profile computed by the sweep searcher serves point
+        # evaluations for free (and vice versa callers pay each (query,
+        # object) distance once).  The pointer table is itself an LRU of the
+        # same capacity: query instances die with their requests, so a plain
+        # dict would leak one entry per (query, candidate) pair forever on a
+        # long-running service.
+        self._distances: LRUCache[
+            Tuple[int, int, float], Tuple[FuzzyObject, float]
+        ] = LRUCache(capacity)
+        self._widest: LRUCache[
+            Tuple[int, int], Tuple[int, int, Optional[float]]
+        ] = LRUCache(capacity)
+        # Query instances that currently have entries, so hot-path callers
+        # can skip per-pair lookups for queries the store has never seen
+        # (the common case: a fresh query object per request).
+        self._queries: LRUCache[int, FuzzyObject] = LRUCache(capacity)
 
     @property
     def capacity(self) -> int:
@@ -174,12 +192,86 @@ class DistanceProfileStore:
         max_level: Optional[float] = None,
     ) -> None:
         """Memoise one computed profile."""
-        self._cache.put(self._key(query, object_id, max_level), (query, profile))
+        key = self._key(query, object_id, max_level)
+        self._cache.put(key, (query, profile))
+        self._queries.put(key[0], query)
+        pair = (key[0], key[1])
+        widest = self._widest.get(pair)
+        if widest is None or self._covers(key[2], widest[2]):
+            self._widest.put(pair, key)
+
+    @staticmethod
+    def _covers(new_level: Optional[float], old_level: Optional[float]) -> bool:
+        """Whether a profile truncated at ``new_level`` covers at least as
+        much of the threshold axis as one truncated at ``old_level``."""
+        if new_level is None:
+            return True
+        if old_level is None:
+            return False
+        return new_level >= old_level
+
+    # ------------------------------------------------------------------
+    # Scalar d_alpha memo (shared with the reverse engine)
+    # ------------------------------------------------------------------
+    def distance_at(
+        self, query: FuzzyObject, object_id: int, alpha: float
+    ) -> Optional[float]:
+        """Memoised ``d_alpha(A, Q)`` for one threshold, or ``None``.
+
+        Served first from the scalar memo, then by point-evaluating the
+        widest cached profile of the pair when its domain covers ``alpha`` —
+        so a profile materialised by the sweep searcher answers the reverse
+        engine's distance evaluations for free.
+        """
+        alpha = float(alpha)
+        value = self._distances.get((id(query), int(object_id), alpha))
+        if value is not None and value[0] is query:
+            return value[1]
+        pair = (id(query), int(object_id))
+        widest = self._widest.get(pair)
+        if widest is None:
+            return None
+        cached = self._cache.get(widest)
+        if cached is None:  # evicted since the pointer was written
+            self._widest.invalidate(pair)
+            return None
+        pinned_query, profile = cached
+        if pinned_query is not query:  # pragma: no cover - id() reuse guard
+            self._widest.invalidate(pair)
+            return None
+        if alpha > float(profile.levels[-1]) + 1e-12:
+            return None
+        return profile.value(alpha)
+
+    def insert_distance(
+        self, query: FuzzyObject, object_id: int, alpha: float, distance: float
+    ) -> None:
+        """Memoise one exact point evaluation ``d_alpha(A, Q)``."""
+        self._distances.put(
+            (id(query), int(object_id), float(alpha)), (query, float(distance))
+        )
+        self._queries.put(id(query), query)
+
+    def has_query(self, query: FuzzyObject) -> bool:
+        """Whether this exact query instance has any memoised entry.
+
+        Hot-path callers gate per-pair lookups on this: a fresh query object
+        (the common serving case) can never hit, so the vectorized one-shot
+        evaluation path is kept regardless of what other queries have
+        cached.
+        """
+        if self.capacity == 0:
+            return False
+        return self._queries.get(id(query)) is query
 
     def clear(self) -> None:
-        """Drop every memoised profile (statistics are preserved)."""
+        """Drop every memoised profile and distance (statistics preserved)."""
         self._cache.clear()
+        self._distances.clear()
+        self._widest.clear()
+        self._queries.clear()
 
     def reset_statistics(self) -> None:
         """Zero the hit/miss counters."""
         self._cache.reset_statistics()
+        self._distances.reset_statistics()

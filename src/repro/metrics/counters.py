@@ -41,6 +41,12 @@ class MetricsCollector:
     # batch path and the candidates that survived its all-pairs filter.
     REVERSE_QUERIES = "reverse_queries"
     REVERSE_CANDIDATES = "reverse_candidates"
+    # Unified request-planner accounting (core/requests.py): per-(type,
+    # bucket_key) sub-batches formed by execute_batch and the requests they
+    # carried.  plan_requests > plan_groups is the observable evidence that
+    # requests sharing a bucket key were answered by one shared sub-batch.
+    PLAN_GROUPS = "plan_groups"
+    PLAN_REQUESTS = "plan_requests"
     SHED_REQUESTS = "shed_requests"
     LIVE_INSERTS = "live_inserts"
     LIVE_DELETES = "live_deletes"

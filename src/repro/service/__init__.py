@@ -12,11 +12,12 @@ This package layers a serving architecture on top of the query engine:
 
 Typical usage::
 
+    from repro import AknnRequest
     from repro.service import ShardedDatabase, QueryService
 
     db = ShardedDatabase.build(objects, n_shards=4, placement="hash")
     with QueryService(db, window_ms=2.0, max_batch=64) as service:
-        future = service.submit(query, k=20, alpha=0.5)
+        future = service.submit_request(AknnRequest(query, k=20, alpha=0.5))
         result = future.result()
 """
 

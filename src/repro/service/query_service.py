@@ -1,16 +1,30 @@
 """A concurrent query front end with request coalescing.
 
-:class:`QueryService` turns the batch executor's throughput into a serving
-story: concurrent callers submit single AKNN requests and receive futures;
-behind the scenes a coalescer groups compatible requests — same
-``(k, alpha, method)`` — into buckets and flushes each bucket through
-``aknn_batch`` when it either reaches ``coalesce_max_batch`` requests or its
-oldest request has waited ``coalesce_window_ms`` milliseconds.  One shared
-R-tree traversal then answers the whole bucket.  Reverse AKNN submissions
-(:meth:`QueryService.submit_reverse`) coalesce the same way into
-``(k, alpha)`` buckets flushed through ``reverse_aknn_batch``, which shares
-the candidate filter's all-pairs matrix and one verification traversal
-across the bucket.
+:class:`QueryService` turns the batch engines' throughput into a serving
+story: concurrent callers submit typed requests
+(:mod:`repro.core.requests`) and receive futures::
+
+    future = service.submit_request(AknnRequest(query, k=20, alpha=0.5))
+    result = future.result()
+
+Behind the scenes one generic coalescer groups requests by their
+``bucket_key()`` — the same key every request type defines for execution
+sharing — and flushes each bucket through the database's ``execute_batch``
+when it either reaches ``coalesce_max_batch`` requests or its oldest request
+has waited ``coalesce_window_ms`` milliseconds.  A flushed bucket is
+homogeneous by construction, so the planner answers it through the shared
+engine for its type: one R-tree traversal for an AKNN bucket, one candidate
+filter matrix + one verification traversal for a reverse bucket.  New
+request families coalesce correctly with zero service edits — the bucket
+table never switches on request types.  Since ``bucket_key()`` carries each
+request's full method parameterisation, per-request method overrides (e.g. a
+``ReverseRequest(method=ReverseMethod.LINEAR)`` audit probe next to the
+default batch traffic) are supported for free: they simply land in their own
+bucket.
+
+The service itself implements the :class:`~repro.core.requests.QueryEngine`
+protocol — ``execute`` / ``execute_batch`` submit and wait — so callers can
+swap a database for a coalescing service without code changes.
 
 Admission control bounds the number of requests waiting across all buckets
 (``service_queue_depth``); submissions beyond the bound fail fast with
@@ -37,23 +51,30 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.config import RuntimeConfig
+from repro.core.requests import (
+    AknnRequest,
+    QueryRequest,
+    ReverseMethod,
+    ReverseRequest,
+    warn_legacy,
+)
 from repro.core.results import AKNNResult
 from repro.core.reverse_nn import ReverseKNNResult
 from repro.exceptions import ServiceOverloadedError, ServiceStoppedError
 from repro.fuzzy.fuzzy_object import FuzzyObject
 from repro.metrics.counters import MetricsCollector, SharedMetricsCollector
 
-# (request kind, k, alpha, method): "aknn" buckets flush through aknn_batch,
-# "reverse" buckets through reverse_aknn_batch.
-_BucketKey = Tuple[str, int, float, str]
+# Buckets are keyed by QueryRequest.bucket_key(): a hashable tuple carrying
+# the request type tag and its full sharing-relevant parameterisation.
+_BucketKey = Tuple
 
 
-class _Request:
-    __slots__ = ("query", "future", "submitted_at")
+class _Pending:
+    __slots__ = ("request", "future", "submitted_at")
 
-    def __init__(self, query: FuzzyObject, submitted_at: float):
-        self.query = query
-        self.future: "Future[AKNNResult]" = Future()
+    def __init__(self, request: QueryRequest, submitted_at: float):
+        self.request = request
+        self.future: "Future" = Future()
         self.submitted_at = submitted_at
 
 
@@ -62,7 +83,7 @@ class _Bucket:
 
     def __init__(self, key: _BucketKey, opened_at: float):
         self.key = key
-        self.requests: List[_Request] = []
+        self.requests: List[_Pending] = []
         self.opened_at = opened_at
 
 
@@ -107,9 +128,9 @@ class QueryService:
     Parameters
     ----------
     database:
-        Anything exposing ``aknn_batch`` (a :class:`ShardedDatabase` or a
-        plain :class:`FuzzyDatabase`); ``insert``/``delete`` are forwarded
-        when present.
+        Any :class:`~repro.core.requests.QueryEngine` (a
+        :class:`ShardedDatabase` or a plain :class:`FuzzyDatabase`);
+        ``insert``/``delete`` are forwarded when present.
     window_ms / max_batch / queue_depth:
         Coalescer knobs; default to the database config's
         ``coalesce_window_ms`` / ``coalesce_max_batch`` /
@@ -203,44 +224,28 @@ class QueryService:
         self.stop(drain=exc_type is None)
 
     # ------------------------------------------------------------------
-    # Request path
+    # Request path (QueryEngine protocol + futures)
     # ------------------------------------------------------------------
-    def submit(
-        self,
-        query: FuzzyObject,
-        k: int,
-        alpha: float,
-        method: str = "lb_lp_ub",
-    ) -> "Future[AKNNResult]":
-        """Enqueue one AKNN request; returns a future for its result.
+    def submit_request(self, request: QueryRequest) -> "Future":
+        """Enqueue one typed request; returns a future for its result.
 
-        Requests sharing ``(k, alpha, method)`` coalesce into one batch.
-        Raises :class:`ServiceOverloadedError` when the queue is full and
-        :class:`ServiceStoppedError` when the service is not running.
+        Requests sharing a ``bucket_key()`` coalesce into one bucket flushed
+        through the database's ``execute_batch`` (one shared traversal for an
+        AKNN bucket, one shared filter + verification pass for a reverse
+        bucket).  Raises :class:`ServiceOverloadedError` when the queue is
+        full and :class:`ServiceStoppedError` when the service is not
+        running.
         """
-        key: _BucketKey = ("aknn", int(k), float(alpha), str(method))
-        return self._enqueue(key, query)
+        return self._submit(request).future
 
-    def submit_reverse(
-        self,
-        query: FuzzyObject,
-        k: int,
-        alpha: float,
-    ) -> "Future[ReverseKNNResult]":
-        """Enqueue one reverse AKNN request; returns a future for its result.
-
-        Reverse submissions sharing ``(k, alpha)`` coalesce into one bucket
-        flushed through the database's ``reverse_aknn_batch`` — the bucket
-        shares the vectorized candidate filter's all-pairs MaxDist matrix
-        and one batch-verification traversal.  Admission control and
-        latency telemetry are shared with the AKNN path.
-        """
-        key: _BucketKey = ("reverse", int(k), float(alpha), "batch")
-        return self._enqueue(key, query)
-
-    def _enqueue(self, key: _BucketKey, query: FuzzyObject) -> "Future":
+    def _submit(self, request: QueryRequest) -> _Pending:
+        if not isinstance(request, QueryRequest):
+            raise TypeError(
+                f"submit_request expects a QueryRequest, got {type(request).__name__}"
+            )
+        key: _BucketKey = request.bucket_key()
         now = time.perf_counter()
-        request = _Request(query, now)
+        pending = _Pending(request, now)
         with self._cv:
             if not self._running:
                 raise ServiceStoppedError("query service is not running")
@@ -254,11 +259,119 @@ class QueryService:
             if bucket is None:
                 bucket = _Bucket(key, now)
                 self._buckets[key] = bucket
-            bucket.requests.append(request)
+            bucket.requests.append(pending)
             self._pending += 1
             self._submitted += 1
             self._cv.notify_all()
-        return request.future
+        return pending
+
+    def _withdraw(self, submitted: List[_Pending]) -> None:
+        """Pull not-yet-flushed requests back out of their buckets.
+
+        Used when a multi-request submission fails part-way (admission
+        control): without this the already-enqueued futures would be
+        dropped unreferenced while the flusher still paid to answer them —
+        amplifying exactly the overload that shed the submission.  Requests
+        whose bucket already flushed are left to finish.
+        """
+        with self._cv:
+            for pending in submitted:
+                key = pending.request.bucket_key()
+                bucket = self._buckets.get(key)
+                if bucket is None or pending not in bucket.requests:
+                    continue  # already flushing/flushed; let it complete
+                bucket.requests.remove(pending)
+                if not bucket.requests:
+                    del self._buckets[key]
+                self._pending -= 1
+                self._shed += 1
+                self.metrics.increment(MetricsCollector.SHED_REQUESTS)
+                pending.future.cancel()
+
+    def execute(
+        self,
+        request: QueryRequest,
+        *,
+        rng=None,
+        timeout: Optional[float] = None,
+    ):
+        """Synchronously answer one request (submit + wait).
+
+        ``rng`` is accepted for :class:`~repro.core.requests.QueryEngine`
+        compatibility but ignored: coalesced execution happens on the flusher
+        thread, where per-caller randomness would race between bucket
+        members.
+        """
+        return self.submit_request(request).result(timeout=timeout)
+
+    def execute_batch(
+        self,
+        requests,
+        *,
+        rng=None,
+        timeout: Optional[float] = None,
+    ) -> List:
+        """Submit a mixed-type batch and wait for every result.
+
+        Each request lands in its ``bucket_key()`` bucket, so a mixed
+        submission is answered as per-type, per-bucket shared sub-batches —
+        the same plan :meth:`FuzzyDatabase.execute_batch` would build, plus
+        coalescing with any concurrent callers' compatible requests.  If a
+        submission is shed part-way by admission control, the requests
+        already enqueued by this call are withdrawn from their buckets
+        (counted as shed) before the error propagates, so the overloaded
+        service does not pay for answers nobody can retrieve.  ``timeout``
+        is one deadline for the whole batch, not per future; when it
+        expires, still-queued requests are withdrawn before the
+        :class:`TimeoutError` propagates.
+        """
+        submitted: List[_Pending] = []
+        try:
+            for request in requests:
+                submitted.append(self._submit(request))
+        except BaseException:
+            self._withdraw(submitted)
+            raise
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results = []
+        for pending in submitted:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                results.append(pending.future.result(timeout=remaining))
+            except BaseException:
+                self._withdraw(submitted)
+                raise
+        return results
+
+    # ------------------------------------------------------------------
+    # Deprecated per-type shims (delegate to the request surface)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+    ) -> "Future[AKNNResult]":
+        """Deprecated: use ``submit_request(AknnRequest(...))``."""
+        warn_legacy("QueryService.submit()", "submit_request(AknnRequest(...))")
+        return self.submit_request(AknnRequest(query, k=k, alpha=alpha, method=method))
+
+    def submit_reverse(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+    ) -> "Future[ReverseKNNResult]":
+        """Deprecated: use ``submit_request(ReverseRequest(...))``."""
+        warn_legacy(
+            "QueryService.submit_reverse()", "submit_request(ReverseRequest(...))"
+        )
+        return self.submit_request(
+            ReverseRequest(query, k=k, alpha=alpha, method=ReverseMethod.BATCH)
+        )
 
     def aknn(
         self,
@@ -268,8 +381,11 @@ class QueryService:
         method: str = "lb_lp_ub",
         timeout: Optional[float] = None,
     ) -> AKNNResult:
-        """Synchronous convenience wrapper around :meth:`submit`."""
-        return self.submit(query, k, alpha, method=method).result(timeout=timeout)
+        """Deprecated: use ``execute(AknnRequest(...))``."""
+        warn_legacy("QueryService.aknn()", "execute(AknnRequest(...))")
+        return self.submit_request(
+            AknnRequest(query, k=k, alpha=alpha, method=method)
+        ).result(timeout=timeout)
 
     def reverse_aknn(
         self,
@@ -278,8 +394,11 @@ class QueryService:
         alpha: float,
         timeout: Optional[float] = None,
     ) -> "ReverseKNNResult":
-        """Synchronous convenience wrapper around :meth:`submit_reverse`."""
-        return self.submit_reverse(query, k, alpha).result(timeout=timeout)
+        """Deprecated: use ``execute(ReverseRequest(...))``."""
+        warn_legacy("QueryService.reverse_aknn()", "execute(ReverseRequest(...))")
+        return self.submit_request(
+            ReverseRequest(query, k=k, alpha=alpha, method=ReverseMethod.BATCH)
+        ).result(timeout=timeout)
 
     # ------------------------------------------------------------------
     # Live updates (forwarded to the database)
@@ -364,14 +483,13 @@ class QueryService:
                 self._execute(bucket)
 
     def _execute(self, bucket: _Bucket) -> None:
-        kind, k, alpha, method = bucket.key
-        queries = [request.query for request in bucket.requests]
+        # The bucket is homogeneous by construction (one bucket_key), so the
+        # database's planner answers it through the shared engine registered
+        # for its request type — no per-type dispatch here.
         try:
-            if kind == "reverse":
-                results = self.database.reverse_aknn_batch(queries, k, alpha)
-            else:
-                batch = self.database.aknn_batch(queries, k, alpha, method=method)
-                results = batch.results
+            results = self.database.execute_batch(
+                [pending.request for pending in bucket.requests]
+            )
         except BaseException as exc:  # propagate into the waiting futures
             with self._cv:
                 self._failed += len(bucket.requests)

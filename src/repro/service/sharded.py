@@ -40,6 +40,15 @@ from repro.core.aknn import AKNN_METHODS
 from repro.core.database import FuzzyDatabase
 from repro.core.executor import _BOOTSTRAP_EXTRA, _exact_min_distances
 from repro.core.query import PreparedQuery
+from repro.core.requests import (
+    AknnRequest,
+    QueryRequest,
+    RangeRequest,
+    ReverseRequest,
+    SweepRequest,
+    execute_plan,
+    warn_legacy,
+)
 from repro.core.results import (
     AKNNResult,
     BatchResult,
@@ -51,9 +60,10 @@ from repro.core.results import (
 from repro.core.reverse_nn import (
     REVERSE_METHODS,
     ReverseKNNResult,
-    bucket_candidate_distances,
     build_bucket_results,
     collect_memberships,
+    plan_bucket_verification,
+    query_filter_thresholds,
 )
 from repro.core.rknn import RKNNSearcher
 from repro.exceptions import (
@@ -63,7 +73,7 @@ from repro.exceptions import (
 )
 from repro.fuzzy.alpha_distance import alpha_distance
 from repro.fuzzy.fuzzy_object import FuzzyObject
-from repro.index.soa import certainly_closer_counts, min_dist_to_boxes
+from repro.index.soa import certainly_closer_counts
 from repro.metrics.counters import MetricsCollector, SharedMetricsCollector
 from repro.metrics.timer import Timer
 from repro.service.concurrency import EpochCounter, ReadWriteLock
@@ -309,9 +319,101 @@ class ShardedDatabase:
         return tau, exact
 
     # ------------------------------------------------------------------
-    # Queries
+    # The query surface (QueryEngine protocol)
     # ------------------------------------------------------------------
-    def aknn(
+    def execute(
+        self,
+        request: QueryRequest,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """Answer one typed request over the whole sharded database."""
+        return execute_plan(self, [request], rng=rng)[0]
+
+    def execute_batch(
+        self,
+        requests: Iterable[QueryRequest],
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List:
+        """Answer a submission that may mix request types freely.
+
+        Grouping is identical to the unsharded engine
+        (:meth:`FuzzyDatabase.execute_batch`); each per-bucket sub-batch runs
+        the sharded fast path (global bootstrap + parallel fan-out + global
+        merge) once for the whole bucket.
+        """
+        return execute_plan(self, list(requests), rng=rng)
+
+    # Bucket hooks consumed by the planners in repro.core.requests.
+    def _execute_aknn_bucket(
+        self,
+        bucket: Sequence[AknnRequest],
+        rng: Optional[np.random.Generator],
+    ) -> List[AKNNResult]:
+        first = bucket[0]
+        if len(bucket) == 1:
+            return [
+                self._aknn_single(
+                    first.query, first.k, first.alpha,
+                    method=first.method.value, rng=rng,
+                )
+            ]
+        self.metrics.increment(MetricsCollector.BATCH_QUERIES, len(bucket))
+        batch = self._run_aknn_batch(
+            [request.query for request in bucket],
+            first.k,
+            first.alpha,
+            method=first.method.value,
+            rng=rng,
+        )
+        return batch.results
+
+    def _execute_range_bucket(
+        self,
+        bucket: Sequence[RangeRequest],
+        rng: Optional[np.random.Generator],
+    ) -> List[RangeSearchResult]:
+        return [
+            self._range_single(request.query, request.alpha, request.radius, rng=rng)
+            for request in bucket
+        ]
+
+    def _execute_sweep_bucket(
+        self,
+        bucket: Sequence[SweepRequest],
+        rng: Optional[np.random.Generator],
+    ) -> List[RKNNResult]:
+        return [
+            self._rknn.search(
+                request.query,
+                request.k,
+                request.alpha_range,
+                method=request.method.value,
+                aknn_method=request.aknn_method.value,
+                rng=rng,
+            )
+            for request in bucket
+        ]
+
+    def _execute_reverse_bucket(
+        self,
+        bucket: Sequence[ReverseRequest],
+        rng: Optional[np.random.Generator],
+    ) -> List[ReverseKNNResult]:
+        first = bucket[0]
+        return self._run_reverse_bucket(
+            [request.query for request in bucket],
+            first.k,
+            first.alpha,
+            method=first.method.value,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Sharded execution engines
+    # ------------------------------------------------------------------
+    def _aknn_single(
         self,
         query: FuzzyObject,
         k: int,
@@ -327,7 +429,7 @@ class ShardedDatabase:
             with shard.lock.read():
                 if len(shard.db) == 0:
                     return [], QueryStats()
-                result = shard.db.aknn(query, k, alpha, method=method, rng=rng)
+                result = shard.db._aknn.search(query, k, alpha, method=method, rng=rng)
                 resolved = self._resolve_exact(shard.db, result.neighbors, query, alpha)
                 return resolved, result.stats
 
@@ -343,7 +445,7 @@ class ShardedDatabase:
             neighbors=merged, k=k, alpha=alpha, method=method, stats=stats
         )
 
-    def aknn_batch(
+    def _run_aknn_batch(
         self,
         queries: Iterable[FuzzyObject],
         k: int,
@@ -378,7 +480,7 @@ class ShardedDatabase:
             initial_tau, initial_exact = bootstrap if bootstrap else (None, None)
 
             def run(shard: _Shard) -> BatchResult:
-                return shard.db.aknn_batch(
+                return shard.db._run_aknn_batch(
                     queries, k, alpha, method=method, workers=workers, rng=rng,
                     initial_tau=initial_tau, initial_exact=initial_exact,
                 )
@@ -413,7 +515,7 @@ class ShardedDatabase:
             stats.extra["throughput_qps"] = len(queries) / stats.elapsed_seconds
         return BatchResult(results=results, k=k, alpha=alpha, method=method, stats=stats)
 
-    def range_search(
+    def _range_single(
         self,
         query: FuzzyObject,
         alpha: float,
@@ -425,7 +527,7 @@ class ShardedDatabase:
 
         def run(shard: _Shard) -> RangeSearchResult:
             with shard.lock.read():
-                return shard.db.range_search(query, alpha, radius, rng=rng)
+                return shard.db._range.search(query, alpha, radius, rng=rng)
 
         per_shard = self._map_shards(run)
         matches = [match for result in per_shard for match in result.matches]
@@ -438,37 +540,7 @@ class ShardedDatabase:
         stats.extra["shard_fanouts"] = float(len(self._shards))
         return RangeSearchResult(matches=matches, radius=radius, alpha=alpha, stats=stats)
 
-    def rknn(
-        self,
-        query: FuzzyObject,
-        k: int,
-        alpha_range: Tuple[float, float],
-        method: str = "rss_icr",
-        aknn_method: str = "lb_lp_ub",
-        rng: Optional[np.random.Generator] = None,
-    ) -> RKNNResult:
-        """Range kNN over the whole database (federated sweep)."""
-        return self._rknn.search(
-            query, k, alpha_range, method=method, aknn_method=aknn_method, rng=rng
-        )
-
-    def reverse_aknn(
-        self,
-        query: FuzzyObject,
-        k: int,
-        alpha: float,
-        method: str = "batch",
-        rng: Optional[np.random.Generator] = None,
-    ) -> ReverseKNNResult:
-        """Reverse AKNN over the whole database (sharded fast path).
-
-        See :meth:`reverse_aknn_batch`; ``method`` selects the candidate
-        filter only (``"linear"`` skips it), since every method verifies
-        through the cross-shard batch fan-out and all return identical sets.
-        """
-        return self.reverse_aknn_batch([query], k, alpha, method=method, rng=rng)[0]
-
-    def reverse_aknn_batch(
+    def _run_reverse_bucket(
         self,
         queries: Iterable[FuzzyObject],
         k: int,
@@ -545,12 +617,7 @@ class ShardedDatabase:
             if method == "linear":
                 masks = np.ones((n_queries, ids.shape[0]), dtype=bool)
             else:
-                thresholds = min_dist_to_boxes(
-                    np.stack([p.query_mbr.lower for p in prepared]),
-                    np.stack([p.query_mbr.upper for p in prepared]),
-                    box_lo,
-                    box_hi,
-                )
+                thresholds = query_filter_thresholds(prepared, box_lo, box_hi)
 
                 def filter_rows(shard: _Shard) -> Optional[np.ndarray]:
                     start, stop = spans[shard.index]
@@ -571,8 +638,26 @@ class ShardedDatabase:
                 )
                 masks = counts < k
 
-            union = np.flatnonzero(masks.any(axis=0))
-            if union.shape[0] == 0:
+            # Each candidate row came from a known shard span, so its object
+            # can be fetched from the owning store without the owner map.
+            # Candidate prep (union, exact distances, shared radii, seeds) is
+            # the same plan the unsharded engine runs; only the fetch and the
+            # verification fan-out differ.
+            shard_of_row = np.empty(ids.shape[0], dtype=np.int64)
+            for shard_index, (start, stop) in spans.items():
+                shard_of_row[start:stop] = shard_index
+            metrics = MetricsCollector()
+            plan = plan_bucket_verification(
+                prepared,
+                masks,
+                ids,
+                lambda row: self._shards[int(shard_of_row[row])].db.store.get(
+                    int(ids[row])
+                ),
+                alpha,
+                metrics,
+            )
+            if plan is None:
                 self.metrics.increment(MetricsCollector.REVERSE_QUERIES, n_queries)
                 elapsed = timer.stop()
                 return [
@@ -581,26 +666,10 @@ class ShardedDatabase:
                     )
                     for _ in queries
                 ]
-            # Each candidate row came from a known shard span, so its object
-            # can be fetched from the owning store without the owner map.
-            shard_of_row = np.empty(ids.shape[0], dtype=np.int64)
-            for shard_index, (start, stop) in spans.items():
-                shard_of_row[start:stop] = shard_index
-            cand_ids = [int(ids[j]) for j in union]
-            cand_objs = [
-                self._shards[int(shard_of_row[j])].db.store.get(int(ids[j]))
-                for j in union
-            ]
-            cand_cuts = [obj.alpha_cut(alpha) for obj in cand_objs]
-            metrics = MetricsCollector()
-            per_query_cols, per_query_dists, tau = bucket_candidate_distances(
-                prepared, masks, union, cand_cuts, metrics
-            )
-            seeds = [{object_id: 0.0} for object_id in cand_ids]
             shard_batches = self._map_shards(
-                lambda shard: shard.db.aknn_batch(
-                    cand_objs, k + 1, alpha, rng=rng,
-                    initial_tau=tau, initial_exact=seeds,
+                lambda shard: shard.db._run_aknn_batch(
+                    plan.cand_objs, k + 1, alpha, rng=rng,
+                    initial_tau=plan.tau, initial_exact=plan.seeds,
                 )
             )
 
@@ -608,13 +677,13 @@ class ShardedDatabase:
             self._merge_topk(
                 [batch.results[j].neighbors for batch in shard_batches], k + 1
             )
-            for j in range(len(cand_ids))
+            for j in range(len(plan.cand_ids))
         ]
         elapsed = timer.stop()
         self.metrics.increment(MetricsCollector.REVERSE_QUERIES, n_queries)
-        self.metrics.increment(MetricsCollector.REVERSE_CANDIDATES, len(cand_ids))
+        self.metrics.increment(MetricsCollector.REVERSE_CANDIDATES, len(plan.cand_ids))
         memberships, distance_maps = collect_memberships(
-            k, cand_ids, merged, per_query_cols, per_query_dists
+            k, plan.cand_ids, merged, plan.per_query_cols, plan.per_query_dists
         )
         return build_bucket_results(
             k,
@@ -624,7 +693,7 @@ class ShardedDatabase:
             masks,
             memberships,
             distance_maps,
-            [int(cols.shape[0]) for cols in per_query_cols],
+            plan.probes,
             totals={
                 "object_accesses": sum(
                     shard.db.store.statistics.object_accesses
@@ -668,6 +737,109 @@ class ShardedDatabase:
             stats=QueryStats(
                 elapsed_seconds=elapsed, extra={"candidates": candidates}
             ),
+        )
+
+    # ------------------------------------------------------------------
+    # Deprecated per-type shims (delegate to the request surface)
+    # ------------------------------------------------------------------
+    def aknn(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+        rng: Optional[np.random.Generator] = None,
+    ) -> AKNNResult:
+        """Deprecated: use ``execute(AknnRequest(...))``."""
+        warn_legacy("ShardedDatabase.aknn()", "execute(AknnRequest(...))")
+        return self.execute(
+            AknnRequest(query, k=k, alpha=alpha, method=method), rng=rng
+        )
+
+    def aknn_batch(
+        self,
+        queries: Iterable[FuzzyObject],
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+        workers: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> BatchResult:
+        """Deprecated: use ``execute_batch([AknnRequest(...), ...])``.
+
+        Kept for the batch-level :class:`BatchResult` telemetry; the unified
+        surface returns plain per-request results instead.
+        """
+        warn_legacy(
+            "ShardedDatabase.aknn_batch()", "execute_batch([AknnRequest(...), ...])"
+        )
+        return self._run_aknn_batch(
+            queries, k, alpha, method=method, workers=workers, rng=rng
+        )
+
+    def rknn(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha_range: Tuple[float, float],
+        method: str = "rss_icr",
+        aknn_method: str = "lb_lp_ub",
+        rng: Optional[np.random.Generator] = None,
+    ) -> RKNNResult:
+        """Deprecated: use ``execute(SweepRequest(...))``."""
+        warn_legacy("ShardedDatabase.rknn()", "execute(SweepRequest(...))")
+        return self.execute(
+            SweepRequest(
+                query, k=k, alpha_range=tuple(alpha_range),
+                method=method, aknn_method=aknn_method,
+            ),
+            rng=rng,
+        )
+
+    def range_search(
+        self,
+        query: FuzzyObject,
+        alpha: float,
+        radius: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> RangeSearchResult:
+        """Deprecated: use ``execute(RangeRequest(...))``."""
+        warn_legacy("ShardedDatabase.range_search()", "execute(RangeRequest(...))")
+        return self.execute(RangeRequest(query, alpha=alpha, radius=radius), rng=rng)
+
+    def reverse_aknn(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str = "batch",
+        rng: Optional[np.random.Generator] = None,
+    ) -> ReverseKNNResult:
+        """Deprecated: use ``execute(ReverseRequest(...))``."""
+        warn_legacy("ShardedDatabase.reverse_aknn()", "execute(ReverseRequest(...))")
+        return self.execute(
+            ReverseRequest(query, k=k, alpha=alpha, method=method), rng=rng
+        )
+
+    def reverse_aknn_batch(
+        self,
+        queries: Iterable[FuzzyObject],
+        k: int,
+        alpha: float,
+        method: str = "batch",
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[ReverseKNNResult]:
+        """Deprecated: use ``execute_batch([ReverseRequest(...), ...])``."""
+        warn_legacy(
+            "ShardedDatabase.reverse_aknn_batch()",
+            "execute_batch([ReverseRequest(...), ...])",
+        )
+        return self.execute_batch(
+            [
+                ReverseRequest(query, k=k, alpha=alpha, method=method)
+                for query in queries
+            ],
+            rng=rng,
         )
 
     # ------------------------------------------------------------------
@@ -872,7 +1044,7 @@ class _FanoutAKNNAdapter:
         method: str = "lb_lp_ub",
         rng: Optional[np.random.Generator] = None,
     ) -> AKNNResult:
-        return self._sharded.aknn(query, k, alpha, method=method, rng=rng)
+        return self._sharded._aknn_single(query, k, alpha, method=method, rng=rng)
 
 
 class _FanoutRangeAdapter:
