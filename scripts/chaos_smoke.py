@@ -1,0 +1,205 @@
+"""CI gate: the serving layer survives randomized fault injection.
+
+Drives two chaos phases against a sharded :class:`QueryService` and asserts
+the failure-semantics contract held:
+
+1. **Transient chaos** — a seeded :meth:`FaultPlan.random` plan (bounded
+   ``count`` per rule, so retries eventually win) under a mixed-type
+   workload.  Every submitted future must complete within its timeout (zero
+   hung futures) and the retry counter must be non-zero — i.e. the injected
+   faults actually exercised the retry path rather than being absorbed
+   silently.
+
+2. **Dead shard** — a permanent ``raise`` rule on one shard with a small
+   breaker threshold.  Every future must still complete, every answer must
+   carry partial coverage naming the dead shard, the breaker must reach
+   OPEN (non-zero ``breaker_open``), and once open the shard must stop
+   being invoked at all (the fault plan's fired count freezes while
+   ``breaker_shed`` keeps climbing).
+
+Run locally::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import RuntimeConfig  # noqa: E402
+from repro.core.requests import (  # noqa: E402
+    AknnRequest,
+    RangeRequest,
+    ReverseRequest,
+    SweepRequest,
+)
+from repro.datasets.builder import build_dataset  # noqa: E402
+from repro.datasets.queries import generate_query_object  # noqa: E402
+from repro.metrics.counters import MetricsCollector  # noqa: E402
+from repro.service import (  # noqa: E402
+    BreakerState,
+    FaultPlan,
+    QueryService,
+    ShardedDatabase,
+)
+
+FUTURE_TIMEOUT_S = 120.0  # "hung" means missing even this generous bound
+
+
+def _check(condition: bool, label: str, failures: list) -> None:
+    print(f"  {'ok  ' if condition else 'FAIL'} {label}")
+    if not condition:
+        failures.append(label)
+
+
+def _mixed_requests(queries, n: int):
+    requests = []
+    for i in range(n):
+        query = queries[i % len(queries)]
+        kind = i % 16
+        if kind < 8:
+            requests.append(AknnRequest(query, k=2 + i % 3, alpha=0.5))
+        elif kind < 12:
+            requests.append(RangeRequest(query, alpha=0.5, radius=2.0 + i % 2))
+        elif kind < 15:
+            requests.append(ReverseRequest(query, k=2, alpha=0.5))
+        else:
+            requests.append(SweepRequest(query, k=2, alpha_range=(0.45, 0.55)))
+    return requests
+
+
+def _build(objects, **config_overrides) -> ShardedDatabase:
+    config = RuntimeConfig(
+        rtree_max_entries=8,
+        cache_capacity=32,
+        shard_retry_attempts=3,
+        shard_retry_base_ms=0.5,
+        shard_retry_max_ms=2.0,
+        **config_overrides,
+    )
+    return ShardedDatabase.build(objects, n_shards=3, placement="hash", config=config)
+
+
+def _run_workload(database, requests) -> list:
+    """Submit everything through a service; return results, never hang."""
+    with QueryService(database, window_ms=1.0, max_batch=32) as service:
+        futures = [service.submit_request(request) for request in requests]
+        return [future.result(timeout=FUTURE_TIMEOUT_S) for future in futures]
+
+
+def phase_transient(objects, queries, seed: int, n_requests: int, failures: list):
+    print(f"\n=== phase 1: transient chaos (seed {seed}) ===")
+    database = _build(objects)
+    try:
+        plan = FaultPlan.random(
+            np.random.default_rng(seed), n_shards=database.n_shards, n_rules=6
+        )
+        database.fault_plan = plan
+        print(f"  plan: {plan!r}")
+        results = _run_workload(database, _mixed_requests(queries, n_requests))
+        counters = database.metrics.as_dict()
+        _check(len(results) == n_requests, "every future completed", failures)
+        _check(
+            all(r.coverage is None or r.coverage.answered for r in results),
+            "every answer has at least one contributing shard",
+            failures,
+        )
+        _check(plan.total_fired() > 0, "the fault plan actually fired", failures)
+        _check(
+            counters.get(MetricsCollector.RETRIES, 0) > 0,
+            "retries counter is non-zero",
+            failures,
+        )
+    finally:
+        database.close()
+
+
+def phase_dead_shard(objects, queries, n_requests: int, failures: list):
+    print("\n=== phase 2: permanent dead shard ===")
+    database = _build(
+        objects,
+        breaker_failure_threshold=2,
+        breaker_reset_timeout_ms=60_000.0,
+    )
+    try:
+        dead = 1
+        plan = FaultPlan.parse(f"shard={dead},kind=raise")
+        database.fault_plan = plan
+        results = _run_workload(database, _mixed_requests(queries, n_requests))
+        counters = database.metrics.as_dict()
+        _check(len(results) == n_requests, "every future completed", failures)
+        _check(
+            all(
+                r.coverage is not None and dead in r.coverage.failed
+                for r in results
+            ),
+            "every answer is partial and names the dead shard",
+            failures,
+        )
+        _check(
+            database._shards[dead].breaker.state is BreakerState.OPEN,
+            "the dead shard's breaker reached OPEN",
+            failures,
+        )
+        _check(
+            counters.get(MetricsCollector.BREAKER_OPEN, 0) > 0,
+            "breaker_open counter is non-zero",
+            failures,
+        )
+        _check(
+            counters.get(MetricsCollector.PARTIAL_RESULTS, 0) >= n_requests,
+            "every partial answer was counted",
+            failures,
+        )
+        # Once open, the shard is shed at admission: no further invocations.
+        fired_before = plan.total_fired()
+        _run_workload(database, _mixed_requests(queries, 8))
+        _check(
+            plan.total_fired() == fired_before,
+            "open breaker sheds without touching the shard",
+            failures,
+        )
+    finally:
+        database.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--n-requests", type=int, default=48)
+    parser.add_argument("--n-objects", type=int, default=48)
+    args = parser.parse_args(argv)
+
+    objects = build_dataset(
+        kind="synthetic",
+        n_objects=args.n_objects,
+        points_per_object=12,
+        seed=args.seed,
+        space_size=8.0,
+    )
+    rng = np.random.default_rng(args.seed + 1)
+    queries = [
+        generate_query_object(rng, kind="synthetic", space_size=8.0, points_per_object=12)
+        for _ in range(4)
+    ]
+
+    failures: list = []
+    phase_transient(objects, queries, args.seed, args.n_requests, failures)
+    phase_dead_shard(objects, queries, args.n_requests, failures)
+
+    if failures:
+        print(f"\nchaos smoke FAILED: {failures}")
+        return 1
+    print("\nchaos smoke passed: zero hung futures, retry and breaker paths exercised")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -222,6 +222,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--radius", type=float, default=5.0,
         help="radius used by range requests in a --mix workload",
     )
+    serve.add_argument(
+        "--fault-plan", default=None,
+        help=(
+            "inject faults into the shard fan-out: ';'-separated rules of "
+            "key=value pairs, e.g. 'shard=1,kind=raise,count=3;"
+            "shard=0,op=aknn_batch,kind=delay,delay_ms=20' "
+            "(see repro.service.faults)"
+        ),
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline budget in milliseconds (default: none)",
+    )
 
     experiment = subparsers.add_parser("experiment", help="reproduce one paper figure")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
@@ -420,8 +433,8 @@ def _command_serve(args: argparse.Namespace) -> int:
     import time
 
     from repro.config import RuntimeConfig
-    from repro.exceptions import ServiceOverloadedError
-    from repro.service import QueryService, ShardedDatabase
+    from repro.exceptions import BackpressureError, DeadlineExceededError
+    from repro.service import FaultPlan, QueryService, ShardedDatabase
 
     if args.database:
         source = FuzzyDatabase.open(args.database)
@@ -450,6 +463,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"serving {len(database)} objects over {database.n_shards} shards "
         f"({args.placement} placement, sizes {database.shard_sizes()})"
     )
+    if args.fault_plan:
+        database.fault_plan = FaultPlan.parse(args.fault_plan)
+        print(f"fault plan armed: {database.fault_plan!r}")
 
     kinds = [kind.strip() for kind in args.mix.split(",") if kind.strip()]
     unknown = sorted(set(kinds) - {"aknn", "reverse", "range"})
@@ -472,10 +488,18 @@ def _command_serve(args: argparse.Namespace) -> int:
         query = queries[index % len(queries)]
         kind = kinds[index % len(kinds)]
         if kind == "reverse":
-            return ReverseRequest(query, k=args.k, alpha=args.alpha)
+            return ReverseRequest(
+                query, k=args.k, alpha=args.alpha, deadline_ms=args.deadline_ms
+            )
         if kind == "range":
-            return RangeRequest(query, alpha=args.alpha, radius=args.radius)
-        return AknnRequest(query, k=args.k, alpha=args.alpha, method=args.method)
+            return RangeRequest(
+                query, alpha=args.alpha, radius=args.radius,
+                deadline_ms=args.deadline_ms,
+            )
+        return AknnRequest(
+            query, k=args.k, alpha=args.alpha, method=args.method,
+            deadline_ms=args.deadline_ms,
+        )
 
     completed_per_client = [0] * args.clients
 
@@ -484,8 +508,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             request = make_request(client_index + i * args.clients)
             try:
                 service.execute(request)
-            except ServiceOverloadedError:
-                continue  # shed by admission control; reported via stats
+            except (BackpressureError, DeadlineExceededError):
+                continue  # shed or expired; reported via stats
             completed_per_client[client_index] += 1
 
     def mutator(n_ops: int) -> None:
@@ -501,7 +525,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     with QueryService(database) as service:
         # Warm caches and the shard pool before the measured phase.
         for index in range(min(8, len(queries))):
-            service.execute(make_request(index))
+            try:
+                service.execute(make_request(index))
+            except (BackpressureError, DeadlineExceededError):
+                pass  # shed or expired warm-up; the measured phase still runs
 
         per_client = max(1, args.n_requests // args.clients)
         threads = [
@@ -539,6 +566,14 @@ def _command_serve(args: argparse.Namespace) -> int:
     )
     if args.update_ops:
         print(f"live updates: {args.update_ops} insert+delete pairs, epoch {database.epoch}")
+    if args.fault_plan:
+        shard_counters = database.metrics.as_dict()
+        print(
+            f"resilience: {database.fault_plan.total_fired()} faults fired, "
+            f"{int(shard_counters.get('retries', 0))} retries, "
+            f"{int(shard_counters.get('breaker_open', 0))} breaker opens, "
+            f"{int(shard_counters.get('partial_results', 0))} partial results"
+        )
     if args.stats:
         print("counters:")
         for name, value in sorted(stats.as_dict().items()):

@@ -44,6 +44,19 @@ DEFAULT_COALESCE_WINDOW_MS = 2.0
 DEFAULT_COALESCE_MAX_BATCH = 64
 DEFAULT_SERVICE_QUEUE_DEPTH = 1024
 
+# Fault-tolerance defaults of the serving layer (see repro.service.policy).
+# Retries cover transient per-shard worker failures (all queries are
+# idempotent reads); the circuit breaker declares a shard sick after
+# ``DEFAULT_BREAKER_FAILURE_THRESHOLD`` consecutive exhausted fan-outs and
+# sheds its portion of every query until the cool-off elapses.
+DEFAULT_SHARD_RETRY_ATTEMPTS = 3
+DEFAULT_SHARD_RETRY_BASE_MS = 5.0
+DEFAULT_SHARD_RETRY_MAX_MS = 50.0
+DEFAULT_SHARD_RETRY_JITTER = 0.5
+DEFAULT_BREAKER_FAILURE_THRESHOLD = 3
+DEFAULT_BREAKER_RESET_TIMEOUT_MS = 1000.0
+DEFAULT_BREAKER_HALF_OPEN_PROBES = 1
+
 # The small epsilon used by the basic RKNN sweep (Algorithm 3) to step just
 # beyond a critical probability.  The exact sweep used in this implementation
 # steps to the next membership level instead, but the value is retained for
@@ -107,6 +120,22 @@ class RuntimeConfig:
     service_queue_depth:
         Maximum requests pending across all buckets; submissions beyond it
         are shed with :class:`~repro.exceptions.ServiceOverloadedError`.
+    shard_retry_attempts:
+        Total attempts (initial call included) for a failed per-shard read
+        before the shard is counted as failed for this query.  ``1``
+        disables retries.
+    shard_retry_base_ms / shard_retry_max_ms / shard_retry_jitter:
+        Capped exponential backoff between attempts (see
+        :class:`~repro.service.policy.RetryPolicy`).
+    breaker_failure_threshold:
+        Consecutive exhausted fan-outs that open a shard's circuit breaker.
+    breaker_reset_timeout_ms:
+        Cool-off before an open breaker admits half-open probes.
+    breaker_half_open_probes:
+        Concurrent probe calls admitted while half-open.
+    default_deadline_ms:
+        Deadline budget applied to service requests that do not carry their
+        own ``deadline_ms``.  ``None`` (the default) leaves them unbounded.
     """
 
     upper_bound_samples: int = DEFAULT_UPPER_BOUND_SAMPLES
@@ -122,6 +151,14 @@ class RuntimeConfig:
     coalesce_window_ms: float = DEFAULT_COALESCE_WINDOW_MS
     coalesce_max_batch: int = DEFAULT_COALESCE_MAX_BATCH
     service_queue_depth: int = DEFAULT_SERVICE_QUEUE_DEPTH
+    shard_retry_attempts: int = DEFAULT_SHARD_RETRY_ATTEMPTS
+    shard_retry_base_ms: float = DEFAULT_SHARD_RETRY_BASE_MS
+    shard_retry_max_ms: float = DEFAULT_SHARD_RETRY_MAX_MS
+    shard_retry_jitter: float = DEFAULT_SHARD_RETRY_JITTER
+    breaker_failure_threshold: int = DEFAULT_BREAKER_FAILURE_THRESHOLD
+    breaker_reset_timeout_ms: float = DEFAULT_BREAKER_RESET_TIMEOUT_MS
+    breaker_half_open_probes: int = DEFAULT_BREAKER_HALF_OPEN_PROBES
+    default_deadline_ms: float | None = None
     extra: dict = field(default_factory=dict)
 
     def validate(self) -> "RuntimeConfig":
@@ -152,6 +189,20 @@ class RuntimeConfig:
             raise ValueError("coalesce_max_batch must be >= 1")
         if self.service_queue_depth < 1:
             raise ValueError("service_queue_depth must be >= 1")
+        if self.shard_retry_attempts < 1:
+            raise ValueError("shard_retry_attempts must be >= 1")
+        if self.shard_retry_base_ms < 0.0 or self.shard_retry_max_ms < 0.0:
+            raise ValueError("shard retry delays must be >= 0")
+        if not 0.0 <= self.shard_retry_jitter <= 1.0:
+            raise ValueError("shard_retry_jitter must be in [0, 1]")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+        if self.breaker_reset_timeout_ms < 0.0:
+            raise ValueError("breaker_reset_timeout_ms must be >= 0")
+        if self.breaker_half_open_probes < 1:
+            raise ValueError("breaker_half_open_probes must be >= 1")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0.0:
+            raise ValueError("default_deadline_ms must be positive (or None)")
         return self
 
 

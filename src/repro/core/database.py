@@ -206,14 +206,20 @@ class FuzzyDatabase:
 
     # Bucket hooks consumed by the planners in repro.core.requests.  A bucket
     # of one runs the single-query searcher (bit-identical to the historical
-    # per-type methods); larger buckets run the shared batch engines.
+    # per-type methods); larger buckets run the shared batch engines.  The
+    # ``deadline`` keyword is the bucket's abort point (latest member expiry);
+    # loops over members check it between queries, the batch engines between
+    # traversal chunks.
     def _execute_aknn_bucket(
         self,
         bucket: Sequence[AknnRequest],
         rng: Optional[np.random.Generator],
+        deadline=None,
     ) -> List[AKNNResult]:
         first = bucket[0]
         if len(bucket) == 1:
+            if deadline is not None:
+                deadline.check("aknn")
             return [
                 self._aknn.search(
                     first.query, first.k, first.alpha,
@@ -227,6 +233,7 @@ class FuzzyDatabase:
             first.alpha,
             method=first.method.value,
             rng=rng,
+            deadline=deadline,
         )
         return batch.results
 
@@ -234,48 +241,64 @@ class FuzzyDatabase:
         self,
         bucket: Sequence[RangeRequest],
         rng: Optional[np.random.Generator],
+        deadline=None,
     ) -> List[RangeSearchResult]:
-        return [
-            self._range.search(request.query, request.alpha, request.radius, rng=rng)
-            for request in bucket
-        ]
+        results = []
+        for request in bucket:
+            if deadline is not None:
+                deadline.check("range")
+            results.append(
+                self._range.search(request.query, request.alpha, request.radius, rng=rng)
+            )
+        return results
 
     def _execute_sweep_bucket(
         self,
         bucket: Sequence[SweepRequest],
         rng: Optional[np.random.Generator],
+        deadline=None,
     ) -> List[RKNNResult]:
-        return [
-            self._rknn.search(
-                request.query,
-                request.k,
-                request.alpha_range,
-                method=request.method.value,
-                aknn_method=request.aknn_method.value,
-                rng=rng,
+        results = []
+        for request in bucket:
+            if deadline is not None:
+                deadline.check("sweep")
+            results.append(
+                self._rknn.search(
+                    request.query,
+                    request.k,
+                    request.alpha_range,
+                    method=request.method.value,
+                    aknn_method=request.aknn_method.value,
+                    rng=rng,
+                )
             )
-            for request in bucket
-        ]
+        return results
 
     def _execute_reverse_bucket(
         self,
         bucket: Sequence[ReverseRequest],
         rng: Optional[np.random.Generator],
+        deadline=None,
     ) -> List[ReverseKNNResult]:
         first = bucket[0]
         self.metrics.increment(MetricsCollector.REVERSE_QUERIES, len(bucket))
         if first.method is ReverseMethod.BATCH:
             return self._reverse.search_batch(
-                [request.query for request in bucket], first.k, first.alpha, rng=rng
+                [request.query for request in bucket], first.k, first.alpha, rng=rng,
+                deadline=deadline,
             )
         # linear / pruned exist as parity baselines; they share nothing.
-        return [
-            self._reverse.search(
-                request.query, request.k, request.alpha,
-                method=request.method.value, rng=rng,
+        results = []
+        for request in bucket:
+            if deadline is not None:
+                deadline.check("reverse")
+            results.append(
+                self._reverse.search(
+                    request.query, request.k, request.alpha,
+                    method=request.method.value, rng=rng,
+                )
             )
-            for request in bucket
-        ]
+        return results
 
     def _run_aknn_batch(
         self,
@@ -287,6 +310,7 @@ class FuzzyDatabase:
         rng: Optional[np.random.Generator] = None,
         initial_tau=None,
         initial_exact=None,
+        deadline=None,
     ) -> BatchResult:
         """The vectorized batch engine (internal; full :class:`BatchResult`).
 
@@ -301,7 +325,7 @@ class FuzzyDatabase:
         """
         return self._executor.aknn_batch(
             list(queries), k, alpha, method=method, workers=workers, rng=rng,
-            initial_tau=initial_tau, initial_exact=initial_exact,
+            initial_tau=initial_tau, initial_exact=initial_exact, deadline=deadline,
         )
 
     # ------------------------------------------------------------------
@@ -465,11 +489,12 @@ class FuzzyDatabase:
         never reassigned, so per-id caches cannot alias a later insert.
         """
         object_id = int(object_id)
-        summary = self.summaries.get(object_id)
+        # pop() wins exactly once under concurrent deletes of the same id;
+        # the loser reports the consistent not-found instead of a KeyError.
+        summary = self.summaries.pop(object_id, None)
         if summary is None:
             raise ObjectNotFoundError(f"object {object_id} is not in the database")
         self.tree.delete(object_id, mbr=summary.support_mbr)
-        del self.summaries[object_id]
         self.store.delete(object_id)
 
     def linear_scan(self) -> LinearScanSearcher:

@@ -75,6 +75,11 @@ _PROBE_BLOCK_ELEMENTS = 262_144
 # tighter starting radius for near-tie configurations at negligible cost.
 _BOOTSTRAP_EXTRA = 4
 
+# Node pops between deadline checks in the shared traversal.  Small enough
+# that an expired batch stops within a few node expansions, large enough that
+# the clock read never shows up in profiles.
+_DEADLINE_CHECK_INTERVAL = 32
+
 
 def _exact_min_distances(
     query_cut: np.ndarray, cuts: Sequence[np.ndarray]
@@ -136,8 +141,14 @@ class BatchQueryExecutor:
         rng: Optional[np.random.Generator] = None,
         initial_tau: Optional[np.ndarray] = None,
         initial_exact: Optional[Sequence[Dict[int, float]]] = None,
+        deadline=None,
     ) -> BatchResult:
         """Answer every query's AKNN at one shared ``k`` and ``alpha``.
+
+        ``deadline`` is an optional :class:`~repro.service.policy.Deadline`;
+        the batch checks it between traversal chunks and refinement steps and
+        aborts with :class:`~repro.exceptions.DeadlineExceededError` once it
+        expires, so an already-dead batch never burns a full traversal.
 
         ``method`` selects the lower bound driving the shared pruning
         (``"basic"`` uses the support-MBR ``MinDist``; every other variant
@@ -185,9 +196,12 @@ class BatchQueryExecutor:
         if not queries or len(self.tree) == 0:
             per_query: List[List[Neighbor]] = [[] for _ in queries]
         else:
+            if deadline is not None:
+                deadline.check("batch")
             per_query = self._run_batch(
                 queries, k, alpha, method, workers, rng, metrics, query_metrics,
                 initial_tau=initial_tau, initial_exact=initial_exact,
+                deadline=deadline,
             )
 
         elapsed = timer.stop()
@@ -235,6 +249,7 @@ class BatchQueryExecutor:
         query_metrics: List[MetricsCollector],
         initial_tau: Optional[np.ndarray] = None,
         initial_exact: Optional[Sequence[Dict[int, float]]] = None,
+        deadline=None,
     ) -> List[List[Neighbor]]:
         improved = method != "basic"
         prepared = [
@@ -262,9 +277,13 @@ class BatchQueryExecutor:
                 )
         else:
             tau = self._bootstrap_tau(prepared, k, alpha, cuts, exact, metrics)
+        if deadline is not None:
+            deadline.check("batch bootstrap")
         candidates = self._shared_traversal(
-            prepared, alpha, improved, q_lo, q_hi, tau, metrics
+            prepared, alpha, improved, q_lo, q_hi, tau, metrics, deadline=deadline
         )
+        if deadline is not None:
+            deadline.check("batch traversal")
 
         needed = np.unique(
             np.concatenate(
@@ -276,6 +295,8 @@ class BatchQueryExecutor:
         results: List[List[Neighbor]] = [[] for _ in prepared]
 
         def refine(qi: int) -> None:
+            if deadline is not None:
+                deadline.check("batch refinement")
             blocks = candidates[qi]
             ids = (
                 np.concatenate(blocks) if blocks else np.empty(0, dtype=np.int64)
@@ -350,6 +371,7 @@ class BatchQueryExecutor:
         q_hi: np.ndarray,
         tau: np.ndarray,
         metrics: MetricsCollector,
+        deadline=None,
     ) -> List[List[np.ndarray]]:
         """Visit every needed node once, gathering candidate ids per query.
 
@@ -367,8 +389,12 @@ class BatchQueryExecutor:
         stack: List[Tuple[object, np.ndarray]] = [
             (self.tree.root, np.arange(n_queries))
         ]
+        pops = 0
         while stack:
             node, active = stack.pop()
+            pops += 1
+            if deadline is not None and pops % _DEADLINE_CHECK_INTERVAL == 0:
+                deadline.check("batch traversal")
             metrics.increment(MetricsCollector.NODE_ACCESSES)
             if not node.entries:
                 continue

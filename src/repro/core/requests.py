@@ -43,7 +43,7 @@ escalates to an error for in-repo callers.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import (
     Any,
@@ -60,7 +60,7 @@ from typing import (
 
 import numpy as np
 
-from repro.exceptions import InvalidQueryError
+from repro.exceptions import DeadlineExceededError, InvalidQueryError
 from repro.fuzzy.fuzzy_object import FuzzyObject
 
 
@@ -140,9 +140,35 @@ class QueryRequest:
     Subclasses normalise their parameters in ``__post_init__`` (ints, floats,
     enums) so :meth:`bucket_key` is stable across spellings — ``k=20`` and
     ``k=np.int64(20)`` land in the same bucket.
+
+    Every request additionally carries its failure-semantics envelope
+    (keyword-only, never part of the bucket key):
+
+    * ``deadline_ms`` — total time budget from submission.  An expired
+      request fails with :class:`~repro.exceptions.DeadlineExceededError`
+      instead of occupying a traversal; ``None`` means unbounded.
+    * ``require_full`` — opt back into fail-closed execution.  By default a
+      query against a sharded engine degrades to a partial answer (with a
+      :class:`~repro.core.results.Coverage` descriptor) when shards are
+      down; with ``require_full=True`` it raises
+      :class:`~repro.exceptions.ShardUnavailableError` instead.
     """
 
     query: FuzzyObject
+    deadline_ms: Optional[float] = field(default=None, kw_only=True)
+    require_full: bool = field(default=False, kw_only=True)
+
+    def __post_init__(self) -> None:
+        self._validate_envelope()
+
+    def _validate_envelope(self) -> None:
+        if self.deadline_ms is not None:
+            object.__setattr__(self, "deadline_ms", float(self.deadline_ms))
+            if self.deadline_ms <= 0.0:
+                raise InvalidQueryError(
+                    f"deadline_ms must be positive, got {self.deadline_ms}"
+                )
+        object.__setattr__(self, "require_full", bool(self.require_full))
 
     def bucket_key(self) -> Tuple:
         """Hashable key grouping requests that may share one execution.
@@ -150,7 +176,9 @@ class QueryRequest:
         Requests with equal keys are answered together by the planner (one
         shared traversal where the engine supports it) and coalesce into the
         same service bucket.  The key never includes the query object itself
-        — only the parameters execution sharing depends on.
+        — only the parameters execution sharing depends on.  Deadlines and
+        ``require_full`` are deliberately excluded: they shape failure
+        handling per request, not the shared execution.
         """
         raise NotImplementedError
 
@@ -179,6 +207,7 @@ class AknnRequest(QueryRequest):
         )
         self._validate_k(self.k)
         self._validate_alpha(self.alpha)
+        self._validate_envelope()
 
     def bucket_key(self) -> Tuple:
         return ("aknn", self.k, self.alpha, self.method.value)
@@ -199,6 +228,7 @@ class RangeRequest(QueryRequest):
             raise InvalidQueryError(
                 f"radius must be finite and non-negative, got {self.radius}"
             )
+        self._validate_envelope()
 
     def bucket_key(self) -> Tuple:
         return ("range", self.alpha, self.radius)
@@ -235,6 +265,7 @@ class SweepRequest(QueryRequest):
             raise InvalidQueryError(
                 f"alpha range start {start} exceeds end {end}"
             )
+        self._validate_envelope()
 
     def bucket_key(self) -> Tuple:
         return (
@@ -263,6 +294,7 @@ class ReverseRequest(QueryRequest):
         )
         self._validate_k(self.k)
         self._validate_alpha(self.alpha)
+        self._validate_envelope()
 
     def bucket_key(self) -> Tuple:
         return ("reverse", self.k, self.alpha, self.method.value)
@@ -306,12 +338,39 @@ class QueryEngine(Protocol):
 # Planner registry: request type -> bucket planner
 # ----------------------------------------------------------------------
 #: A planner answers one homogeneous bucket (equal ``bucket_key()``) against
-#: one engine and returns one result per request, in bucket order.
-Planner = Callable[
-    [Any, Sequence[QueryRequest], Optional[np.random.Generator]], List[Any]
-]
+#: one engine and returns one result per request, in bucket order.  Planners
+#: may accept an optional ``deadline`` keyword (a
+#: :class:`~repro.service.policy.Deadline` or ``None``); three-parameter
+#: planners are adapted at registration time, so pre-deadline planners keep
+#: working unchanged.
+Planner = Callable[..., List[Any]]
 
 _PLANNERS: Dict[Type[QueryRequest], Planner] = {}
+
+
+def _adapt_planner(planner: Planner) -> Planner:
+    """Wrap planners that do not take a ``deadline`` keyword.
+
+    The registry's calling convention is ``planner(engine, bucket, rng,
+    deadline=...)``; a legacy ``(engine, bucket, rng)`` callable is wrapped to
+    drop the deadline (its bucket simply runs unbounded).
+    """
+    import inspect
+
+    try:
+        signature = inspect.signature(planner)
+    except (TypeError, ValueError):
+        return planner
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return planner
+        if parameter.name == "deadline":
+            return planner
+
+    def _without_deadline(engine, bucket, rng, deadline=None, _planner=planner):
+        return _planner(engine, bucket, rng)
+
+    return _without_deadline
 
 
 def register_planner(request_type: Type[QueryRequest], planner: Planner) -> None:
@@ -320,7 +379,7 @@ def register_planner(request_type: Type[QueryRequest], planner: Planner) -> None
     This is the single extension point for new query families: engines never
     switch on request types themselves — they look the planner up here.
     """
-    _PLANNERS[request_type] = planner
+    _PLANNERS[request_type] = _adapt_planner(planner)
 
 
 def planner_for(request_type: Type[QueryRequest]) -> Planner:
@@ -358,10 +417,28 @@ def group_requests(
     return [(rtype, key, indices) for (rtype, key), indices in groups.items()]
 
 
+def request_deadlines(requests: Sequence[QueryRequest]) -> List[Optional[Any]]:
+    """Materialise each request's ``deadline_ms`` budget as an absolute
+    :class:`~repro.service.policy.Deadline`, counting from *now*.
+
+    Called at submission time (service admission, or entry into
+    ``execute_batch`` for direct engine calls) so the budget covers queue
+    wait as well as execution.
+    """
+    from repro.service.policy import Deadline
+
+    return [
+        None if request.deadline_ms is None else Deadline.after_ms(request.deadline_ms)
+        for request in requests
+    ]
+
+
 def execute_plan(
     engine: Any,
     requests: Sequence[QueryRequest],
     rng: Optional[np.random.Generator] = None,
+    deadlines: Optional[Sequence[Optional[Any]]] = None,
+    on_error: str = "raise",
 ) -> List[Any]:
     """The shared ``execute_batch`` implementation.
 
@@ -371,11 +448,39 @@ def execute_plan(
     plan shape is recorded under the ``plan_groups`` / ``plan_requests``
     counters — the observable evidence that requests sharing a bucket key
     were answered by one shared sub-batch.
+
+    ``deadlines`` is an optional parallel sequence of absolute
+    :class:`~repro.service.policy.Deadline` objects (``None`` entries =
+    unbounded); when omitted it is derived from each request's
+    ``deadline_ms`` counting from now.  Members already expired are answered
+    with :class:`~repro.exceptions.DeadlineExceededError` without running;
+    each group's shared execution is bounded by its *latest* member deadline
+    (the point past which nobody in the bucket wants the answer), and
+    planners receive it as the ``deadline`` keyword.
+
+    A result slot may come back as an :class:`Exception` instance (deadline
+    expiry, or a failed shard under ``require_full``).  With
+    ``on_error="raise"`` (the default — direct engine calls) the first such
+    slot is raised; with ``on_error="return"`` (the query service, which
+    routes each slot to its own future) exception slots are returned in
+    place.
     """
     requests = list(requests)
     if not requests:
         return []
+    if on_error not in ("raise", "return"):
+        raise InvalidQueryError(
+            f"on_error must be 'raise' or 'return', got {on_error!r}"
+        )
     grouped = group_requests(requests)
+    if deadlines is None:
+        deadlines = request_deadlines(requests)
+    else:
+        deadlines = list(deadlines)
+        if len(deadlines) != len(requests):
+            raise InvalidQueryError(
+                f"got {len(deadlines)} deadlines for {len(requests)} requests"
+            )
     metrics = getattr(engine, "metrics", None)
     if metrics is not None:
         from repro.metrics.counters import MetricsCollector
@@ -385,15 +490,62 @@ def execute_plan(
     results: List[Any] = [None] * len(requests)
     for request_type, _key, indices in grouped:
         planner = planner_for(request_type)
-        bucket = [requests[i] for i in indices]
-        answers = planner(engine, bucket, rng)
+        live: List[int] = []
+        for index in indices:
+            deadline = deadlines[index]
+            if deadline is not None and deadline.expired():
+                results[index] = DeadlineExceededError(
+                    f"{request_type.__name__} expired before execution"
+                )
+                if metrics is not None:
+                    from repro.metrics.counters import MetricsCollector
+
+                    metrics.increment(MetricsCollector.DEADLINE_EXPIRED)
+            else:
+                live.append(index)
+        if not live:
+            continue
+        # The shared execution is aborted only once *every* member is past
+        # its expiry: the latest member deadline (unbounded if any member
+        # carries none).  Individual members are re-checked on scatter.
+        member_deadlines = [deadlines[i] for i in live]
+        if any(d is None for d in member_deadlines):
+            bucket_deadline = None
+        else:
+            bucket_deadline = max(member_deadlines, key=lambda d: d.expires_at)
+        bucket = [requests[i] for i in live]
+        try:
+            answers = planner(engine, bucket, rng, deadline=bucket_deadline)
+        except DeadlineExceededError as error:
+            answers = [error] * len(bucket)
+            if metrics is not None:
+                from repro.metrics.counters import MetricsCollector
+
+                metrics.increment(MetricsCollector.DEADLINE_EXPIRED, len(bucket))
         if len(answers) != len(bucket):
             raise InvalidQueryError(
                 f"planner for {request_type.__name__} returned {len(answers)} "
                 f"results for {len(bucket)} requests"
             )
-        for index, answer in zip(indices, answers):
+        for index, answer in zip(live, answers):
+            deadline = deadlines[index]
+            if (
+                not isinstance(answer, Exception)
+                and deadline is not None
+                and deadline.expired()
+            ):
+                answer = DeadlineExceededError(
+                    f"{request_type.__name__} expired during execution"
+                )
+                if metrics is not None:
+                    from repro.metrics.counters import MetricsCollector
+
+                    metrics.increment(MetricsCollector.DEADLINE_EXPIRED)
             results[index] = answer
+    if on_error == "raise":
+        for answer in results:
+            if isinstance(answer, Exception):
+                raise answer
     return results
 
 
@@ -408,32 +560,36 @@ def _plan_aknn(
     engine: Any,
     bucket: Sequence[AknnRequest],
     rng: Optional[np.random.Generator],
+    deadline: Optional[Any] = None,
 ) -> List[Any]:
-    return engine._execute_aknn_bucket(bucket, rng)
+    return engine._execute_aknn_bucket(bucket, rng, deadline=deadline)
 
 
 def _plan_range(
     engine: Any,
     bucket: Sequence[RangeRequest],
     rng: Optional[np.random.Generator],
+    deadline: Optional[Any] = None,
 ) -> List[Any]:
-    return engine._execute_range_bucket(bucket, rng)
+    return engine._execute_range_bucket(bucket, rng, deadline=deadline)
 
 
 def _plan_sweep(
     engine: Any,
     bucket: Sequence[SweepRequest],
     rng: Optional[np.random.Generator],
+    deadline: Optional[Any] = None,
 ) -> List[Any]:
-    return engine._execute_sweep_bucket(bucket, rng)
+    return engine._execute_sweep_bucket(bucket, rng, deadline=deadline)
 
 
 def _plan_reverse(
     engine: Any,
     bucket: Sequence[ReverseRequest],
     rng: Optional[np.random.Generator],
+    deadline: Optional[Any] = None,
 ) -> List[Any]:
-    return engine._execute_reverse_bucket(bucket, rng)
+    return engine._execute_reverse_bucket(bucket, rng, deadline=deadline)
 
 
 register_planner(AknnRequest, _plan_aknn)

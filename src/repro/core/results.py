@@ -60,6 +60,50 @@ class QueryStats:
 
 
 @dataclass(frozen=True)
+class Coverage:
+    """Which shards contributed to an answer, and at which epochs.
+
+    Attached to results by the sharded fan-out layer.  ``complete`` coverage
+    means every shard answered and the result is exact; partial coverage
+    means the answer is exact *restricted to the answering shards'
+    partitions* — objects owned by a failed shard are simply absent.
+    ``epochs`` records each answering shard's mutation counter at answer
+    time and ``epoch`` the database-wide epoch, giving callers the staleness
+    bound needed to decide whether a degraded answer is acceptable.
+    """
+
+    total_shards: int
+    answered: Tuple[int, ...]
+    failed: Tuple[int, ...] = ()
+    reasons: Tuple[Tuple[int, str], ...] = ()
+    epochs: Tuple[Tuple[int, int], ...] = ()
+    epoch: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when every shard contributed (the answer is exact)."""
+        return not self.failed and len(self.answered) == self.total_shards
+
+    def reason_for(self, shard: int) -> Optional[str]:
+        """Last failure description recorded for ``shard`` (None if it answered)."""
+        for index, reason in self.reasons:
+            if index == shard:
+                return reason
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total_shards": self.total_shards,
+            "answered": list(self.answered),
+            "failed": list(self.failed),
+            "reasons": {index: reason for index, reason in self.reasons},
+            "epochs": {index: epoch for index, epoch in self.epochs},
+            "epoch": self.epoch,
+            "complete": self.complete,
+        }
+
+
+@dataclass(frozen=True)
 class Neighbor:
     """One returned nearest neighbour.
 
@@ -90,6 +134,7 @@ class AKNNResult:
     alpha: float
     method: str
     stats: QueryStats = field(default_factory=QueryStats)
+    coverage: Optional[Coverage] = None
 
     @property
     def object_ids(self) -> List[int]:
@@ -119,6 +164,7 @@ class BatchResult:
     alpha: float
     method: str
     stats: QueryStats = field(default_factory=QueryStats)
+    coverage: Optional[Coverage] = None
 
     @property
     def throughput_qps(self) -> float:
@@ -143,6 +189,7 @@ class RangeSearchResult:
     radius: float
     alpha: float
     stats: QueryStats = field(default_factory=QueryStats)
+    coverage: Optional[Coverage] = None
 
     @property
     def object_ids(self) -> List[int]:
@@ -166,6 +213,7 @@ class RKNNResult:
     alpha_range: Tuple[float, float]
     method: str
     stats: QueryStats = field(default_factory=QueryStats)
+    coverage: Optional[Coverage] = None
 
     @property
     def object_ids(self) -> List[int]:

@@ -55,7 +55,7 @@ from repro.config import RuntimeConfig
 from repro.core.aknn import AKNNSearcher
 from repro.core.executor import BatchQueryExecutor, _exact_min_distances
 from repro.core.query import PreparedQuery
-from repro.core.results import QueryStats
+from repro.core.results import Coverage, QueryStats
 from repro.exceptions import InvalidQueryError
 from repro.fuzzy.alpha_distance import DistanceProfileStore, alpha_distance_points
 from repro.fuzzy.fuzzy_object import FuzzyObject
@@ -337,6 +337,7 @@ class ReverseKNNResult:
     alpha: float
     method: str
     stats: QueryStats = field(default_factory=QueryStats)
+    coverage: Optional["Coverage"] = None
 
     def __len__(self) -> int:
         return len(self.object_ids)
@@ -525,6 +526,7 @@ class ReverseAKNNSearcher:
         k: int,
         alpha: float,
         rng: Optional[np.random.Generator] = None,
+        deadline=None,
     ) -> List["ReverseKNNResult"]:
         """Answer a bucket of reverse AKNN queries sharing ``(k, alpha)``.
 
@@ -532,7 +534,9 @@ class ReverseAKNNSearcher:
         vectorized all-pairs filter (its MaxDist matrix shared by the whole
         bucket), then one shared ``aknn_batch`` traversal verifying the union
         of every query's surviving candidates.  Returns one result per query,
-        identical to the ``linear`` / ``pruned`` answers.
+        identical to the ``linear`` / ``pruned`` answers.  ``deadline``
+        bounds the bucket; it is checked between the filter and verification
+        phases and inside the verification traversal.
         """
         if k <= 0:
             raise InvalidQueryError(f"k must be positive, got {k}")
@@ -549,10 +553,14 @@ class ReverseAKNNSearcher:
             PreparedQuery(query, alpha, self.config, rng, metrics)
             for query in queries
         ]
+        if deadline is not None:
+            deadline.check("reverse filter")
         ids, box_lo, box_hi = self.tree.leaf_alpha_bounds(alpha)
         masks = self._filter_batch(prepared, k, ids, box_lo, box_hi, metrics)
+        if deadline is not None:
+            deadline.check("reverse verification")
         memberships, distances, probes = self._verify_batch(
-            prepared, k, alpha, ids, masks, metrics, rng
+            prepared, k, alpha, ids, masks, metrics, rng, deadline=deadline
         )
 
         elapsed = timer.stop()
@@ -624,6 +632,7 @@ class ReverseAKNNSearcher:
         masks: np.ndarray,
         metrics: MetricsCollector,
         rng: Optional[np.random.Generator],
+        deadline=None,
     ) -> Tuple[List[List[int]], List[Dict[int, float]], List[int]]:
         """Verify the union of surviving candidates in one shared traversal.
 
@@ -656,6 +665,7 @@ class ReverseAKNNSearcher:
             rng=rng,
             initial_tau=plan.tau,
             initial_exact=plan.seeds,
+            deadline=deadline,
         )
         metrics.increment(MetricsCollector.REVERSE_CANDIDATES, len(plan.cand_ids))
         metrics.increment(

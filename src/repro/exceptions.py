@@ -60,15 +60,67 @@ class ExperimentError(ReproError):
     """Raised by the benchmark harness for inconsistent experiment configs."""
 
 
-class ServiceOverloadedError(ReproError):
+class BackpressureError(ReproError):
+    """Base of every shed-and-retry-later error.
+
+    Carries ``retry_after_ms`` — the service's estimate of how long the
+    caller should back off before retrying (``None`` when the service cannot
+    estimate one).  :class:`repro.service.client.RetryingClient` honours it.
+    """
+
+    def __init__(self, message: str, retry_after_ms=None):
+        super().__init__(message)
+        self.retry_after_ms = None if retry_after_ms is None else float(retry_after_ms)
+
+
+class ServiceOverloadedError(BackpressureError):
     """Raised when the query service sheds a request.
 
     The coalescer's admission control bounds the number of requests that may
     wait in its buckets (``RuntimeConfig.service_queue_depth``); submissions
     beyond the bound fail fast with this error instead of growing the queue
-    without limit.  Callers are expected to back off and retry.
+    without limit.  ``retry_after_ms`` is computed from the current queue
+    depth and the coalescer's drain-rate EWMA, so callers back off for
+    roughly as long as the backlog needs to clear.
+    """
+
+
+class ShardUnavailableError(BackpressureError):
+    """Raised when a query cannot be answered because shards are down.
+
+    Raised either because every shard failed, or because the request set
+    ``require_full=True`` and at least one shard could not answer (worker
+    failure exhausted its retries, or its circuit breaker is open).
+    ``retry_after_ms`` reflects the longest open breaker's remaining cool-off
+    — the earliest time a retry could possibly reach the sick shard again.
+    ``shards`` lists the failed shard indices; ``reasons`` maps each to a
+    short description of its last failure.
+    """
+
+    def __init__(self, message: str, retry_after_ms=None, shards=(), reasons=None):
+        super().__init__(message, retry_after_ms=retry_after_ms)
+        self.shards = tuple(shards)
+        self.reasons = dict(reasons or {})
+
+
+class DeadlineExceededError(ReproError):
+    """Raised when a request's ``deadline_ms`` budget expires.
+
+    Deadlines propagate from the request into the coalescer (expired-in-queue
+    requests are withdrawn before execution), the planner, and the batch
+    executor's traversal loop, so an expired request fails before burning a
+    full traversal rather than after.
     """
 
 
 class ServiceStoppedError(ReproError):
     """Raised when a request is submitted to a service that is not running."""
+
+
+class FaultInjectedError(ReproError):
+    """The error raised by an injected ``raise`` fault (chaos testing only).
+
+    Lives in the production hierarchy so injected failures travel the exact
+    code paths a real worker failure would, but is never raised outside a
+    :class:`repro.service.faults.FaultPlan`.
+    """

@@ -50,6 +50,17 @@ class MetricsCollector:
     SHED_REQUESTS = "shed_requests"
     LIVE_INSERTS = "live_inserts"
     LIVE_DELETES = "live_deletes"
+    # Fault-tolerance accounting (service/policy.py, service/faults.py):
+    # per-shard read retries, breaker trips and the fan-out portions an open
+    # breaker shed, queries answered with partial coverage, requests that
+    # expired mid-execution, and requests withdrawn from the coalescer queue
+    # because their deadline passed before their bucket flushed.
+    RETRIES = "retries"
+    BREAKER_OPEN = "breaker_open"
+    BREAKER_SHED = "breaker_shed"
+    PARTIAL_RESULTS = "partial_results"
+    DEADLINE_EXPIRED = "deadline_expired"
+    REQUESTS_WITHDRAWN_EXPIRED = "requests_withdrawn_expired"
 
     def __init__(self) -> None:
         self._counts: Dict[str, int] = defaultdict(int)

@@ -8,7 +8,13 @@ This package layers a serving architecture on top of the query engine:
 * :mod:`repro.service.query_service` — :class:`QueryService`, a coalescing,
   admission-controlled front end reporting p50/p99 latency;
 * :mod:`repro.service.concurrency` — the readers/writer lock and epoch
-  counter the shards synchronise on.
+  counter the shards synchronise on;
+* :mod:`repro.service.policy` — deadlines, retry policies and per-shard
+  circuit breakers (the failure-semantics building blocks);
+* :mod:`repro.service.faults` — the injectable fault plans behind the chaos
+  suite and ``serve --fault-plan``;
+* :mod:`repro.service.client` — :class:`RetryingClient`, the reference
+  consumer of the retry-after backpressure contract.
 
 Typical usage::
 
@@ -21,12 +27,20 @@ Typical usage::
         result = future.result()
 """
 
+from repro.service.client import RetryBudgetExhaustedError, RetryingClient
 from repro.service.concurrency import EpochCounter, ReadWriteLock
+from repro.service.faults import FAULT_OPERATIONS, FaultPlan, FaultSpec
 from repro.service.placement import (
     PLACEMENT_POLICIES,
     HashPlacement,
     SpacePlacement,
     make_placement,
+)
+from repro.service.policy import (
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
 )
 from repro.service.query_service import QueryService, ServiceStats
 from repro.service.sharded import ShardedDatabase
@@ -41,4 +55,13 @@ __all__ = [
     "PLACEMENT_POLICIES",
     "ReadWriteLock",
     "EpochCounter",
+    "Deadline",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerState",
+    "FaultPlan",
+    "FaultSpec",
+    "FAULT_OPERATIONS",
+    "RetryingClient",
+    "RetryBudgetExhaustedError",
 ]

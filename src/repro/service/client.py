@@ -1,0 +1,132 @@
+"""A retrying client that honours the service's backpressure contract.
+
+Every shed path in the serving stack carries a computed ``retry_after_ms``:
+
+* :class:`~repro.exceptions.ServiceOverloadedError` — admission control,
+  estimated from the queue depth and the coalescer's drain-rate EWMA;
+* :class:`~repro.exceptions.ShardUnavailableError` — circuit-breaker sheds
+  and total shard loss, reflecting the longest open breaker's remaining
+  cool-off.
+
+:class:`RetryingClient` is the reference consumer of that contract: it
+submits through a :class:`~repro.service.query_service.QueryService` (or any
+``QueryEngine``), sleeps for the server-provided hint (jittered, so a
+thundering herd of shed callers does not return in lockstep), and gives up
+once a total retry budget is spent.  Deadline and validation errors are never
+retried — a request that expired will not un-expire, and a malformed one will
+not become well-formed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.requests import QueryRequest
+from repro.exceptions import BackpressureError
+from repro.metrics.counters import MetricsCollector, SharedMetricsCollector
+
+
+class RetryBudgetExhaustedError(BackpressureError):
+    """Raised when the client's retry budget is spent before an answer.
+
+    Chains the last backpressure error so callers can inspect the final
+    ``retry_after_ms`` the service reported.
+    """
+
+
+class RetryingClient:
+    """Submit-with-backoff wrapper over a query engine.
+
+    Parameters
+    ----------
+    engine:
+        Anything implementing ``execute`` / ``execute_batch`` — typically a
+        running :class:`~repro.service.query_service.QueryService`.
+    max_retries:
+        Retries after the initial attempt (``3`` means up to 4 calls).
+    budget_ms:
+        Total milliseconds the client may spend sleeping between attempts;
+        once the next hinted sleep would exceed what is left, the client
+        stops and raises :class:`RetryBudgetExhaustedError`.
+    default_backoff_ms:
+        Sleep used when a backpressure error carries no ``retry_after_ms``.
+    jitter:
+        The hinted sleep is scaled by a uniform factor in
+        ``[1, 1 + jitter]`` — *after* the hint, never before it, because the
+        hint is the service's earliest-useful-retry estimate.
+    """
+
+    def __init__(
+        self,
+        engine,
+        max_retries: int = 3,
+        budget_ms: float = 1000.0,
+        default_backoff_ms: float = 10.0,
+        jitter: float = 0.25,
+        rand: Callable[[], float] = random.random,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if budget_ms < 0.0 or default_backoff_ms < 0.0:
+            raise ValueError("budgets must be >= 0")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.engine = engine
+        self.max_retries = int(max_retries)
+        self.budget_ms = float(budget_ms)
+        self.default_backoff_ms = float(default_backoff_ms)
+        self.jitter = float(jitter)
+        self._rand = rand
+        self._sleep = sleep
+        self.metrics = SharedMetricsCollector()
+
+    # ------------------------------------------------------------------
+    # The retry loop
+    # ------------------------------------------------------------------
+    def _call(self, attempt_fn):
+        spent_ms = 0.0
+        last_error: Optional[BackpressureError] = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                return attempt_fn()
+            except BackpressureError as error:
+                last_error = error
+                if attempt >= self.max_retries:
+                    break
+                hint_ms = error.retry_after_ms
+                if hint_ms is None:
+                    hint_ms = self.default_backoff_ms
+                sleep_ms = hint_ms * (1.0 + self.jitter * self._rand())
+                if spent_ms + sleep_ms > self.budget_ms:
+                    break
+                spent_ms += sleep_ms
+                self.metrics.increment(MetricsCollector.RETRIES)
+                if sleep_ms > 0.0:
+                    self._sleep(sleep_ms / 1000.0)
+        raise RetryBudgetExhaustedError(
+            f"retry budget exhausted after {spent_ms:.1f} ms of backoff",
+            retry_after_ms=getattr(last_error, "retry_after_ms", None),
+        ) from last_error
+
+    def execute(self, request: QueryRequest, *, timeout: Optional[float] = None):
+        """Answer one request, retrying shed submissions per the contract."""
+        kwargs = {} if timeout is None else {"timeout": timeout}
+        return self._call(lambda: self.engine.execute(request, **kwargs))
+
+    def execute_batch(
+        self,
+        requests: Sequence[QueryRequest],
+        *,
+        timeout: Optional[float] = None,
+    ) -> List:
+        """Answer a batch, retrying the whole submission when it is shed.
+
+        The query service withdraws a partially-admitted submission before
+        raising, so resubmitting the full batch never double-answers.
+        """
+        requests = list(requests)
+        kwargs = {} if timeout is None else {"timeout": timeout}
+        return self._call(lambda: self.engine.execute_batch(requests, **kwargs))

@@ -44,7 +44,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -56,13 +56,19 @@ from repro.core.requests import (
     QueryRequest,
     ReverseMethod,
     ReverseRequest,
+    execute_plan,
     warn_legacy,
 )
 from repro.core.results import AKNNResult
 from repro.core.reverse_nn import ReverseKNNResult
-from repro.exceptions import ServiceOverloadedError, ServiceStoppedError
+from repro.exceptions import (
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+)
 from repro.fuzzy.fuzzy_object import FuzzyObject
 from repro.metrics.counters import MetricsCollector, SharedMetricsCollector
+from repro.service.policy import Deadline
 
 # Buckets are keyed by QueryRequest.bucket_key(): a hashable tuple carrying
 # the request type tag and its full sharing-relevant parameterisation.
@@ -70,21 +76,51 @@ _BucketKey = Tuple
 
 
 class _Pending:
-    __slots__ = ("request", "future", "submitted_at")
+    __slots__ = ("request", "future", "submitted_at", "deadline")
 
-    def __init__(self, request: QueryRequest, submitted_at: float):
+    def __init__(
+        self,
+        request: QueryRequest,
+        submitted_at: float,
+        deadline: Optional[Deadline],
+    ):
         self.request = request
         self.future: "Future" = Future()
         self.submitted_at = submitted_at
+        self.deadline = deadline
+
+    def resolve(self, result) -> None:
+        """Set the result, tolerating a future cancelled by the caller."""
+        try:
+            self.future.set_result(result)
+        except InvalidStateError:
+            pass
+
+    def fail(self, error: BaseException) -> None:
+        """Set the exception, tolerating a future cancelled by the caller."""
+        try:
+            self.future.set_exception(error)
+        except InvalidStateError:
+            pass
 
 
 class _Bucket:
-    __slots__ = ("key", "requests", "opened_at")
+    __slots__ = ("key", "requests", "opened_at", "expires_at")
 
     def __init__(self, key: _BucketKey, opened_at: float):
         self.key = key
         self.requests: List[_Pending] = []
         self.opened_at = opened_at
+        # Earliest member deadline (monotonic), or None while every member
+        # is unbounded; the flusher brings the flush forward so a bounded
+        # member still has time to execute.
+        self.expires_at: Optional[float] = None
+
+    def note_deadline(self, deadline: Optional[Deadline]) -> None:
+        if deadline is None:
+            return
+        if self.expires_at is None or deadline.expires_at < self.expires_at:
+            self.expires_at = deadline.expires_at
 
 
 @dataclass
@@ -163,7 +199,11 @@ class QueryService:
             raise ValueError("max_batch must be >= 1")
         if self.queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
+        self.default_deadline_ms = config.default_deadline_ms
         self.metrics = SharedMetricsCollector()
+        # EWMA of flush throughput (requests/second); feeds the retry-after
+        # estimate handed back with ServiceOverloadedError.
+        self._drain_rate = 0.0
         self._cv = threading.Condition()
         self._buckets: Dict[_BucketKey, _Bucket] = {}
         self._pending = 0
@@ -207,7 +247,7 @@ class QueryService:
             if not drain:
                 for bucket in self._buckets.values():
                     for request in bucket.requests:
-                        request.future.set_exception(
+                        request.fail(
                             ServiceStoppedError("query service stopped before flush")
                         )
                 self._pending = 0
@@ -216,6 +256,19 @@ class QueryService:
         if self._flusher is not None:
             self._flusher.join()
             self._flusher = None
+        # A clean flusher exit drains every bucket; anything still queued
+        # means it died mid-flight.  No submitted future may hang forever,
+        # so sweep the leftovers into ServiceStoppedError.
+        with self._cv:
+            leftovers = [
+                pending
+                for bucket in self._buckets.values()
+                for pending in bucket.requests
+            ]
+            self._buckets.clear()
+            self._pending = 0
+        for pending in leftovers:
+            pending.fail(ServiceStoppedError("query service stopped before flush"))
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -238,14 +291,35 @@ class QueryService:
         """
         return self._submit(request).future
 
+    def _deadline_for(self, request: QueryRequest) -> Optional[Deadline]:
+        """The request's absolute deadline, honouring the service default."""
+        budget_ms = request.deadline_ms
+        if budget_ms is None:
+            budget_ms = self.default_deadline_ms
+        if budget_ms is None:
+            return None
+        return Deadline.after_ms(budget_ms)
+
+    def _retry_after_ms(self) -> float:
+        """How long a shed caller should back off (caller holds ``_cv``).
+
+        The backlog needs roughly ``pending / drain_rate`` seconds to clear;
+        before the first flush establishes a rate, one coalescing window is
+        the best available floor.
+        """
+        window_ms = self.window_seconds * 1000.0
+        if self._drain_rate <= 0.0:
+            return max(window_ms, 1.0)
+        return max(window_ms, (self._pending / self._drain_rate) * 1000.0, 1.0)
+
     def _submit(self, request: QueryRequest) -> _Pending:
         if not isinstance(request, QueryRequest):
             raise TypeError(
                 f"submit_request expects a QueryRequest, got {type(request).__name__}"
             )
         key: _BucketKey = request.bucket_key()
-        now = time.perf_counter()
-        pending = _Pending(request, now)
+        now = time.monotonic()
+        pending = _Pending(request, now, self._deadline_for(request))
         with self._cv:
             if not self._running:
                 raise ServiceStoppedError("query service is not running")
@@ -253,13 +327,15 @@ class QueryService:
                 self._shed += 1
                 self.metrics.increment(MetricsCollector.SHED_REQUESTS)
                 raise ServiceOverloadedError(
-                    f"queue depth {self.queue_depth} exceeded; request shed"
+                    f"queue depth {self.queue_depth} exceeded; request shed",
+                    retry_after_ms=self._retry_after_ms(),
                 )
             bucket = self._buckets.get(key)
             if bucket is None:
                 bucket = _Bucket(key, now)
                 self._buckets[key] = bucket
             bucket.requests.append(pending)
+            bucket.note_deadline(pending.deadline)
             self._pending += 1
             self._submitted += 1
             self._cv.notify_all()
@@ -450,13 +526,25 @@ class QueryService:
     # ------------------------------------------------------------------
     # Flusher
     # ------------------------------------------------------------------
+    def _flush_at(self, bucket: _Bucket) -> float:
+        """When this bucket must flush: its window, brought forward so the
+        earliest member deadline still leaves one window's worth of time to
+        execute."""
+        at = bucket.opened_at + self.window_seconds
+        if bucket.expires_at is not None:
+            at = min(at, bucket.expires_at - self.window_seconds)
+        return at
+
     def _due_buckets(self, now: float, flush_all: bool) -> List[_Bucket]:
-        """Pop the buckets ready to execute (size or deadline trigger)."""
+        """Pop the buckets ready to execute (size, window or deadline)."""
         due: List[_Bucket] = []
         for key in list(self._buckets):
             bucket = self._buckets[key]
-            expired = (now - bucket.opened_at) >= self.window_seconds
-            if flush_all or expired or len(bucket.requests) >= self.max_batch:
+            if (
+                flush_all
+                or now >= self._flush_at(bucket)
+                or len(bucket.requests) >= self.max_batch
+            ):
                 due.append(self._buckets.pop(key))
         for bucket in due:
             self._pending -= len(bucket.requests)
@@ -465,12 +553,12 @@ class QueryService:
     def _next_deadline(self) -> Optional[float]:
         if not self._buckets:
             return None
-        return min(b.opened_at for b in self._buckets.values()) + self.window_seconds
+        return min(self._flush_at(b) for b in self._buckets.values())
 
     def _flush_loop(self) -> None:
         while True:
             with self._cv:
-                now = time.perf_counter()
+                now = time.monotonic()
                 due = self._due_buckets(now, flush_all=not self._running)
                 if not due:
                     if not self._running:
@@ -480,32 +568,90 @@ class QueryService:
                     self._cv.wait(timeout=timeout)
                     continue
             for bucket in due:
-                self._execute(bucket)
+                try:
+                    self._execute(bucket)
+                except BaseException as exc:  # the loop must survive anything
+                    with self._cv:
+                        self._failed += len(bucket.requests)
+                    for pending in bucket.requests:
+                        pending.fail(exc)
+
+    def _withdraw_expired(self, bucket: _Bucket) -> List[_Pending]:
+        """Fail members whose deadline lapsed in the queue; return the rest.
+
+        An expired member gets :class:`DeadlineExceededError` without
+        touching the database — the whole point of deadline propagation is
+        not paying for answers nobody is waiting for any more.
+        """
+        live: List[_Pending] = []
+        expired: List[_Pending] = []
+        for pending in bucket.requests:
+            if pending.deadline is not None and pending.deadline.expired():
+                expired.append(pending)
+            else:
+                live.append(pending)
+        if expired:
+            with self._cv:
+                self._failed += len(expired)
+            self.metrics.increment(
+                MetricsCollector.REQUESTS_WITHDRAWN_EXPIRED, len(expired)
+            )
+            self.metrics.increment(MetricsCollector.DEADLINE_EXPIRED, len(expired))
+            for pending in expired:
+                pending.fail(
+                    DeadlineExceededError(
+                        f"{type(pending.request).__name__} expired waiting in queue"
+                    )
+                )
+        return live
 
     def _execute(self, bucket: _Bucket) -> None:
         # The bucket is homogeneous by construction (one bucket_key), so the
         # database's planner answers it through the shared engine registered
-        # for its request type — no per-type dispatch here.
+        # for its request type — no per-type dispatch here.  execute_plan is
+        # called directly (rather than through database.execute_batch) so the
+        # deadlines captured at submit time keep counting down, and so each
+        # slot's failure lands on its own future instead of failing the whole
+        # bucket (on_error="return").
+        started = time.monotonic()
+        live = self._withdraw_expired(bucket)
+        if not live:
+            return
         try:
-            results = self.database.execute_batch(
-                [pending.request for pending in bucket.requests]
+            results = execute_plan(
+                self.database,
+                [pending.request for pending in live],
+                deadlines=[pending.deadline for pending in live],
+                on_error="return",
             )
         except BaseException as exc:  # propagate into the waiting futures
             with self._cv:
-                self._failed += len(bucket.requests)
-            for request in bucket.requests:
-                request.future.set_exception(exc)
+                self._failed += len(live)
+            for pending in live:
+                pending.fail(exc)
             return
-        done = time.perf_counter()
-        size = len(bucket.requests)
+        done = time.monotonic()
+        size = len(live)
+        completed = sum(
+            1 for result in results if not isinstance(result, BaseException)
+        )
         with self._cv:
             self._batches += 1
             self._coalesced += size
             self._max_batch_seen = max(self._max_batch_seen, size)
-            self._completed += size
-            for request in bucket.requests:
-                self._latencies.append(done - request.submitted_at)
+            self._completed += completed
+            self._failed += size - completed
+            for pending in live:
+                self._latencies.append(done - pending.submitted_at)
+            rate = size / max(done - started, 1e-6)
+            self._drain_rate = (
+                rate if self._drain_rate <= 0.0
+                else 0.8 * self._drain_rate + 0.2 * rate
+            )
         self.metrics.increment(MetricsCollector.COALESCED_BATCHES)
         self.metrics.increment(MetricsCollector.COALESCED_QUERIES, size)
-        for request, result in zip(bucket.requests, results):
-            request.future.set_result(result)
+        for pending, result in zip(live, results):
+            if isinstance(result, BaseException):
+                pending.fail(result)
+            else:
+                pending.resolve(result)

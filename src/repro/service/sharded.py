@@ -29,6 +29,7 @@ the database epoch.  Object ids are globally unique and never recycled.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
@@ -52,6 +53,7 @@ from repro.core.requests import (
 from repro.core.results import (
     AKNNResult,
     BatchResult,
+    Coverage,
     Neighbor,
     QueryStats,
     RangeSearchResult,
@@ -67,8 +69,10 @@ from repro.core.reverse_nn import (
 )
 from repro.core.rknn import RKNNSearcher
 from repro.exceptions import (
+    DeadlineExceededError,
     InvalidQueryError,
     ObjectNotFoundError,
+    ShardUnavailableError,
     StorageError,
 )
 from repro.fuzzy.alpha_distance import alpha_distance
@@ -77,7 +81,9 @@ from repro.index.soa import certainly_closer_counts
 from repro.metrics.counters import MetricsCollector, SharedMetricsCollector
 from repro.metrics.timer import Timer
 from repro.service.concurrency import EpochCounter, ReadWriteLock
+from repro.service.faults import FaultPlan
 from repro.service.placement import make_placement
+from repro.service.policy import CircuitBreaker, RetryPolicy
 from repro.storage.object_store import StoreStatistics
 
 try:  # scipy is a hard dependency; keep the import failure readable.
@@ -89,14 +95,42 @@ T = TypeVar("T")
 
 
 class _Shard:
-    """One partition: a full FuzzyDatabase plus its readers/writer lock."""
+    """One partition: a FuzzyDatabase, its readers/writer lock, its breaker."""
 
-    __slots__ = ("index", "db", "lock")
+    __slots__ = ("index", "db", "lock", "breaker")
 
-    def __init__(self, index: int, db: FuzzyDatabase):
+    def __init__(self, index: int, db: FuzzyDatabase, breaker: CircuitBreaker):
         self.index = index
         self.db = db
         self.lock = ReadWriteLock()
+        self.breaker = breaker
+
+
+class _ShardFailure(Exception):
+    """Internal: one shard could not answer (retries exhausted / breaker open).
+
+    Never escapes the sharded fan-out — it is converted into partial
+    coverage or a :class:`~repro.exceptions.ShardUnavailableError`.
+    """
+
+    def __init__(self, shard_index: int, reason: str):
+        super().__init__(f"shard {shard_index}: {reason}")
+        self.shard_index = int(shard_index)
+        self.reason = reason
+
+
+class _FanoutFailure(Exception):
+    """Internal: one fan-out pass lost shards (all failures of the pass).
+
+    Raised by the strict (coupled) fan-out maps; the exclusion loop catches
+    it, removes the lost shards from the live set, and reruns the pass so
+    the surviving shards' answers stay exactly what a fresh query against
+    only those shards would return.
+    """
+
+    def __init__(self, failures: Dict[int, str]):
+        super().__init__(f"shards failed: {sorted(failures)}")
+        self.failures = dict(failures)
 
 
 class ShardedDatabase:
@@ -113,8 +147,18 @@ class ShardedDatabase:
             raise ValueError("a sharded database needs at least one shard")
         self.config = (config or RuntimeConfig()).validate()
         self.placement = placement
-        self._shards = [_Shard(i, db) for i, db in enumerate(shards)]
+        self._shards = [
+            _Shard(i, db, CircuitBreaker.from_config(self.config))
+            for i, db in enumerate(shards)
+        ]
         self._owners = dict(owners)
+        # Failure policy: retries for transient per-shard read failures, one
+        # breaker per shard (held by the _Shard), and an optional fault plan
+        # installed by chaos tests / `serve --fault-plan`.  The plan hook is
+        # a single `is None` check on the fan-out path — zero overhead when
+        # disabled.
+        self.retry_policy = RetryPolicy.from_config(self.config)
+        self.fault_plan: Optional[FaultPlan] = None
         self._admin_lock = threading.Lock()
         self._next_id = max(self._owners, default=-1) + 1
         self._epoch = EpochCounter()
@@ -210,12 +254,12 @@ class ShardedDatabase:
                 )
             return self._pool
 
-    def _map_shards(self, fn: Callable[[_Shard], T]) -> List[T]:
-        """Apply ``fn`` to every shard, in parallel when there are several."""
-        self.metrics.increment(MetricsCollector.SHARD_FANOUTS, len(self._shards))
-        if len(self._shards) == 1:
-            return [fn(self._shards[0])]
-        return list(self._fanout_pool().map(fn, self._shards))
+    def _map_pool(self, shards: Sequence[_Shard], fn: Callable[[_Shard], T]) -> List[T]:
+        """Apply ``fn`` to each of ``shards``, in parallel when several."""
+        self.metrics.increment(MetricsCollector.SHARD_FANOUTS, len(shards))
+        if len(shards) == 1:
+            return [fn(shards[0])]
+        return list(self._fanout_pool().map(fn, shards))
 
     def _owner_shard(self, object_id: int) -> _Shard:
         with self._admin_lock:
@@ -225,25 +269,237 @@ class ShardedDatabase:
         return self._shards[shard_index]
 
     # ------------------------------------------------------------------
+    # Failure-policy plumbing
+    # ------------------------------------------------------------------
+    def _admit_shards(self) -> Tuple[List[_Shard], Dict[int, str]]:
+        """Split the shards into a live set and a breaker-shed set.
+
+        ``allow()`` is called exactly once per shard per query — it consumes
+        half-open probe slots, so neither retry loops nor rerun passes may
+        call it again for the same query.
+        """
+        live: List[_Shard] = []
+        failed: Dict[int, str] = {}
+        for shard in self._shards:
+            if shard.breaker.allow():
+                live.append(shard)
+            else:
+                failed[shard.index] = "circuit breaker open"
+        if failed:
+            self.metrics.increment(MetricsCollector.BREAKER_SHED, len(failed))
+        return live, failed
+
+    def _invoke_shard(
+        self,
+        shard: _Shard,
+        op: str,
+        fn: Callable[[_Shard], T],
+        deadline=None,
+    ) -> T:
+        """One shard call with fault injection, retries and breaker accounting.
+
+        Every query in this system is an idempotent read, so transient worker
+        failures retry with capped exponential backoff (full jitter).  The
+        breaker records one failure per *exhausted* invocation, not one per
+        attempt.  Deadline expiry aborts without blaming the shard.
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.invoke(shard.index, op)
+                result = fn(shard)
+            except DeadlineExceededError:
+                raise
+            except Exception as error:  # noqa: BLE001 - isolation boundary
+                attempt += 1
+                expired = deadline is not None and deadline.expired()
+                if attempt < policy.max_attempts and not expired:
+                    self.metrics.increment(MetricsCollector.RETRIES)
+                    delay = policy.delay_seconds(attempt - 1)
+                    if deadline is not None:
+                        delay = min(delay, max(deadline.remaining_ms(), 0.0) / 1000.0)
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    continue
+                if shard.breaker.record_failure():
+                    self.metrics.increment(MetricsCollector.BREAKER_OPEN)
+                if expired:
+                    raise DeadlineExceededError(
+                        f"deadline expired during shard {shard.index} {op}"
+                    ) from error
+                raise _ShardFailure(
+                    shard.index, f"{type(error).__name__}: {error}"
+                ) from error
+            else:
+                shard.breaker.record_success()
+                return result
+
+    def _map_outcomes(
+        self,
+        shards: Sequence[_Shard],
+        op: str,
+        fn: Callable[[_Shard], T],
+        deadline=None,
+    ) -> List[Tuple[str, object]]:
+        """Isolated fan-out: every shard finishes; failures become outcomes.
+
+        The wrapper catches everything so the pool map always completes every
+        shard before the caller inspects the outcomes — callers holding read
+        locks must not release them while a fan-out thread is still reading.
+        Returns ``("ok", result) | ("deadline", error) | ("fail", reason)``
+        per shard, aligned with ``shards``; a deadline outcome is re-raised
+        once the barrier has been crossed.
+        """
+
+        def guarded(shard: _Shard) -> Tuple[str, object]:
+            try:
+                return ("ok", self._invoke_shard(shard, op, fn, deadline=deadline))
+            except DeadlineExceededError as error:
+                return ("deadline", error)
+            except _ShardFailure as error:
+                return ("fail", error.reason)
+
+        outcomes = self._map_pool(shards, guarded)
+        for kind, value in outcomes:
+            if kind == "deadline":
+                raise value
+        return outcomes
+
+    def _map_strict(
+        self,
+        shards: Sequence[_Shard],
+        op: str,
+        fn: Callable[[_Shard], T],
+        deadline=None,
+    ) -> List[T]:
+        """Coupled fan-out: all results, or a :class:`_FanoutFailure` naming
+        every shard lost in this pass (for the caller's exclusion loop)."""
+        outcomes = self._map_outcomes(shards, op, fn, deadline=deadline)
+        failures = {
+            shard.index: value
+            for shard, (kind, value) in zip(shards, outcomes)
+            if kind == "fail"
+        }
+        if failures:
+            raise _FanoutFailure(failures)
+        return [value for _, value in outcomes]
+
+    @staticmethod
+    def _drop_lost(
+        live: List[_Shard], failure: _FanoutFailure, failed: Dict[int, str]
+    ) -> List[_Shard]:
+        """Shrink ``live`` by the shards a pass lost; guards non-progress.
+
+        A :class:`_FanoutFailure` naming no live shard would rerun the same
+        pass forever, so it escalates to total unavailability instead.
+        """
+        failed.update(failure.failures)
+        lost = set(failure.failures)
+        remaining = [shard for shard in live if shard.index not in lost]
+        if len(remaining) == len(live):
+            return []
+        return remaining
+
+    def _coverage(
+        self, answered: Sequence[_Shard], failed: Dict[int, str]
+    ) -> Coverage:
+        """Describe which shards produced this answer, at which epochs."""
+        return Coverage(
+            total_shards=len(self._shards),
+            answered=tuple(shard.index for shard in answered),
+            failed=tuple(sorted(failed)),
+            reasons=tuple(sorted(failed.items())),
+            epochs=tuple(
+                (shard.index, shard.db.tree.mutations) for shard in answered
+            ),
+            epoch=self.epoch,
+        )
+
+    def breaker_retry_after_ms(self) -> float:
+        """Longest remaining cool-off across shard breakers (0 if none open)."""
+        return max(
+            (shard.breaker.retry_after_ms() for shard in self._shards),
+            default=0.0,
+        )
+
+    def _unavailable(self, failed: Dict[int, str]) -> ShardUnavailableError:
+        retry_after = self.breaker_retry_after_ms()
+        if retry_after <= 0.0:
+            retry_after = self.config.shard_retry_base_ms
+        return ShardUnavailableError(
+            f"shards {sorted(failed)} unavailable",
+            retry_after_ms=retry_after,
+            shards=sorted(failed),
+            reasons=failed,
+        )
+
+    def _shed_fail_closed(self, bucket: Sequence[QueryRequest]):
+        """Fast-fail a fail-closed bucket while breakers are still open.
+
+        Uses the non-mutating ``shedding()`` check, so the bucket is shed in
+        well under a millisecond without touching the fan-out pool or
+        consuming half-open probe slots.  Returns ``None`` when any member
+        tolerates a partial answer (the bucket then runs normally and
+        per-request finalization sorts the slots out).
+        """
+        if not any(request.require_full for request in bucket):
+            return None
+        shedding = {
+            shard.index: "circuit breaker open"
+            for shard in self._shards
+            if shard.breaker.shedding()
+        }
+        if shedding and all(request.require_full for request in bucket):
+            self.metrics.increment(MetricsCollector.BREAKER_SHED, len(bucket))
+            return [self._unavailable(shedding)] * len(bucket)
+        return None
+
+    def _finalize_slot(self, request: QueryRequest, result):
+        """Apply the request's partial-tolerance contract to one result slot."""
+        coverage = getattr(result, "coverage", None)
+        if coverage is None or coverage.complete:
+            return result
+        if request.require_full:
+            return self._unavailable(dict(coverage.reasons))
+        self.metrics.increment(MetricsCollector.PARTIAL_RESULTS)
+        return result
+
+    def _finalize_bucket(self, bucket: Sequence[QueryRequest], results: List) -> List:
+        return [
+            self._finalize_slot(request, result)
+            for request, result in zip(bucket, results)
+        ]
+
+    # ------------------------------------------------------------------
     # Global pruning-radius bootstrap
     # ------------------------------------------------------------------
-    def _global_rep_index(self) -> Tuple[Optional[object], np.ndarray]:
-        """KD-tree over every shard's representative points (cached).
+    def _global_rep_index(
+        self, shards: Sequence[_Shard]
+    ) -> Tuple[Optional[object], np.ndarray]:
+        """KD-tree over the given shards' representative points (cached).
 
         The cross-shard analogue of the executor's per-shard index: one
         nominate-and-probe pass against it yields pruning radii that are
-        valid over the whole database, so each shard's traversal prunes as
-        tightly as an unsharded one would.  The caller must hold every
-        shard's read lock (the batch path does); taking them here would
+        valid over the covered shards, so each shard's traversal prunes as
+        tightly as an unsharded one would.  The cache key includes the shard
+        set, so a degraded pass (some shards excluded) never reuses radii
+        probed from a different snapshot.  The caller must hold the given
+        shards' read locks (the batch path does); taking them here would
         deadlock against the non-reentrant writer-preferring lock.
         """
-        key = (len(self), sum(shard.db.tree.mutations for shard in self._shards))
+        key = (
+            tuple(shard.index for shard in shards),
+            sum(len(shard.db) for shard in shards),
+            sum(shard.db.tree.mutations for shard in shards),
+        )
         cached = self._rep_index
         if cached is not None and cached[0] == key:
             return cached[1], cached[2]
         reps: List[np.ndarray] = []
         oids: List[int] = []
-        for shard in self._shards:
+        for shard in shards:
             for entry in shard.db.tree.leaf_entries():
                 reps.append(entry.summary.representative)
                 oids.append(entry.object_id)
@@ -256,6 +512,7 @@ class ShardedDatabase:
 
     def _global_bootstrap(
         self,
+        shards: Sequence[_Shard],
         queries: Sequence[FuzzyObject],
         k: int,
         alpha: float,
@@ -271,12 +528,12 @@ class ShardedDatabase:
         distances already paid for, which seed the shard executors' memos so
         bootstrap nominees are never re-evaluated.  Returns ``None`` when no
         usable radius can be computed (tiny database, scipy missing) —
-        shards then bootstrap locally.  Caller must hold every shard's read
-        lock, and must keep holding it through the fan-out that consumes the
-        radii — they are only valid against the snapshot they were probed
+        shards then bootstrap locally.  Caller must hold every given shard's
+        read lock, and must keep holding it through the fan-out that consumes
+        the radii — they are only valid against the snapshot they were probed
         from.
         """
-        rep_tree, rep_oids = self._global_rep_index()
+        rep_tree, rep_oids = self._global_rep_index(shards)
         if rep_tree is None or rep_oids.shape[0] < k:
             return None
         prepared = [PreparedQuery(q, alpha, self.config, rng) for q in queries]
@@ -305,6 +562,17 @@ class ShardedDatabase:
                 except ObjectNotFoundError:
                     # Deleted before this batch took its locks: skip it.
                     continue
+                except Exception as error:  # noqa: BLE001 - isolation boundary
+                    # A failing probe blames its shard so the exclusion loop
+                    # can rerun the batch against the survivors.
+                    raise _FanoutFailure(
+                        {
+                            shard_index: (
+                                f"bootstrap probe failed: "
+                                f"{type(error).__name__}: {error}"
+                            )
+                        }
+                    ) from error
         tau = np.full(len(prepared), np.inf)
         exact: List[Dict[int, float]] = [dict() for _ in prepared]
         for qi in range(len(prepared)):
@@ -345,85 +613,150 @@ class ShardedDatabase:
         """
         return execute_plan(self, list(requests), rng=rng)
 
-    # Bucket hooks consumed by the planners in repro.core.requests.
+    # Bucket hooks consumed by the planners in repro.core.requests.  Each
+    # starts with the fail-closed shed fast path, converts total shard loss
+    # into per-slot errors, and finalizes every slot against its request's
+    # partial-tolerance contract (attach coverage / count a partial / swap in
+    # a ShardUnavailableError for ``require_full``).
     def _execute_aknn_bucket(
         self,
         bucket: Sequence[AknnRequest],
         rng: Optional[np.random.Generator],
-    ) -> List[AKNNResult]:
+        deadline=None,
+    ) -> List:
+        shed = self._shed_fail_closed(bucket)
+        if shed is not None:
+            return shed
         first = bucket[0]
-        if len(bucket) == 1:
-            return [
-                self._aknn_single(
-                    first.query, first.k, first.alpha,
-                    method=first.method.value, rng=rng,
+        try:
+            if len(bucket) == 1:
+                results = [
+                    self._aknn_single(
+                        first.query, first.k, first.alpha,
+                        method=first.method.value, rng=rng, deadline=deadline,
+                    )
+                ]
+            else:
+                self.metrics.increment(MetricsCollector.BATCH_QUERIES, len(bucket))
+                batch = self._run_aknn_batch(
+                    [request.query for request in bucket],
+                    first.k,
+                    first.alpha,
+                    method=first.method.value,
+                    rng=rng,
+                    deadline=deadline,
                 )
-            ]
-        self.metrics.increment(MetricsCollector.BATCH_QUERIES, len(bucket))
-        batch = self._run_aknn_batch(
-            [request.query for request in bucket],
-            first.k,
-            first.alpha,
-            method=first.method.value,
-            rng=rng,
-        )
-        return batch.results
+                results = batch.results
+        except ShardUnavailableError as error:
+            return [error] * len(bucket)
+        return self._finalize_bucket(bucket, results)
 
     def _execute_range_bucket(
         self,
         bucket: Sequence[RangeRequest],
         rng: Optional[np.random.Generator],
-    ) -> List[RangeSearchResult]:
-        return [
-            self._range_single(request.query, request.alpha, request.radius, rng=rng)
-            for request in bucket
-        ]
+        deadline=None,
+    ) -> List:
+        shed = self._shed_fail_closed(bucket)
+        if shed is not None:
+            return shed
+        results: List = []
+        for request in bucket:
+            if deadline is not None:
+                deadline.check("range bucket")
+            try:
+                results.append(
+                    self._range_single(
+                        request.query, request.alpha, request.radius,
+                        rng=rng, deadline=deadline,
+                    )
+                )
+            except ShardUnavailableError as error:
+                results.append(error)
+        return self._finalize_bucket(bucket, results)
 
     def _execute_sweep_bucket(
         self,
         bucket: Sequence[SweepRequest],
         rng: Optional[np.random.Generator],
-    ) -> List[RKNNResult]:
-        return [
-            self._rknn.search(
-                request.query,
-                request.k,
-                request.alpha_range,
-                method=request.method.value,
-                aknn_method=request.aknn_method.value,
-                rng=rng,
-            )
-            for request in bucket
-        ]
+        deadline=None,
+    ) -> List:
+        shed = self._shed_fail_closed(bucket)
+        if shed is not None:
+            return shed
+        live, failed = self._admit_shards()
+        results: List = []
+        for request in bucket:
+            if deadline is not None:
+                deadline.check("sweep bucket")
+            while True:
+                if not live:
+                    results.append(self._unavailable(failed))
+                    break
+                # The sweep's sub-queries must all answer against the same
+                # live set, so a mid-sweep shard loss reruns the whole sweep
+                # against the survivors (the strict adapters raise
+                # _FanoutFailure).  The long-lived searcher serves the
+                # undegraded, unbounded case; a degraded or deadline-bounded
+                # pass gets an ephemeral searcher pinned to the live set.
+                if len(live) == len(self._shards) and deadline is None:
+                    searcher = self._rknn
+                else:
+                    searcher = _FederatedRKNNSearcher(
+                        self, self.config, shards=live, deadline=deadline
+                    )
+                try:
+                    result = searcher.search(
+                        request.query,
+                        request.k,
+                        request.alpha_range,
+                        method=request.method.value,
+                        aknn_method=request.aknn_method.value,
+                        rng=rng,
+                    )
+                except _FanoutFailure as failure:
+                    live = self._drop_lost(live, failure, failed)
+                    continue
+                result.coverage = self._coverage(live, failed)
+                results.append(result)
+                break
+        return self._finalize_bucket(bucket, results)
 
     def _execute_reverse_bucket(
         self,
         bucket: Sequence[ReverseRequest],
         rng: Optional[np.random.Generator],
-    ) -> List[ReverseKNNResult]:
+        deadline=None,
+    ) -> List:
+        shed = self._shed_fail_closed(bucket)
+        if shed is not None:
+            return shed
         first = bucket[0]
-        return self._run_reverse_bucket(
-            [request.query for request in bucket],
-            first.k,
-            first.alpha,
-            method=first.method.value,
-            rng=rng,
-        )
+        try:
+            results = self._run_reverse_bucket(
+                [request.query for request in bucket],
+                first.k,
+                first.alpha,
+                method=first.method.value,
+                rng=rng,
+                deadline=deadline,
+            )
+        except ShardUnavailableError as error:
+            return [error] * len(bucket)
+        return self._finalize_bucket(bucket, results)
 
     # ------------------------------------------------------------------
     # Sharded execution engines
     # ------------------------------------------------------------------
-    def _aknn_single(
+    def _aknn_run(
         self,
         query: FuzzyObject,
         k: int,
         alpha: float,
-        method: str = "lb_lp_ub",
-        rng: Optional[np.random.Generator] = None,
-    ) -> AKNNResult:
-        """Global AKNN: per-shard top-k, merged by exact distance."""
-        self._check_aknn_args(k, method)
-        timer = Timer().start()
+        method: str,
+        rng: Optional[np.random.Generator],
+    ) -> Callable[[_Shard], Tuple[List[Neighbor], QueryStats]]:
+        """The per-shard AKNN worker shared by the isolated and strict paths."""
 
         def run(shard: _Shard) -> Tuple[List[Neighbor], QueryStats]:
             with shard.lock.read():
@@ -433,17 +766,92 @@ class ShardedDatabase:
                 resolved = self._resolve_exact(shard.db, result.neighbors, query, alpha)
                 return resolved, result.stats
 
-        per_shard = self._map_shards(run)
+        return run
+
+    @staticmethod
+    def _aknn_merge(
+        per_shard: Sequence[Tuple[List[Neighbor], QueryStats]],
+        k: int,
+        alpha: float,
+        method: str,
+        timer: Timer,
+    ) -> AKNNResult:
         stats = QueryStats()
         for _, shard_stats in per_shard:
             stats.merge(shard_stats)
         stats.aknn_calls = 1
-        stats.extra["shard_fanouts"] = float(len(self._shards))
-        merged = self._merge_topk([neighbors for neighbors, _ in per_shard], k)
+        stats.extra["shard_fanouts"] = float(len(per_shard))
+        merged = ShardedDatabase._merge_topk(
+            [neighbors for neighbors, _ in per_shard], k
+        )
         stats.elapsed_seconds = timer.stop()
         return AKNNResult(
             neighbors=merged, k=k, alpha=alpha, method=method, stats=stats
         )
+
+    def _aknn_single(
+        self,
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+        rng: Optional[np.random.Generator] = None,
+        deadline=None,
+    ) -> AKNNResult:
+        """Global AKNN: per-shard top-k, merged by exact distance.
+
+        Shard failures are isolated: surviving shards' answers merge into a
+        partial result whose coverage names the shards that failed.  Raises
+        :class:`~repro.exceptions.ShardUnavailableError` only when no shard
+        answered at all.
+        """
+        self._check_aknn_args(k, method)
+        if deadline is not None:
+            deadline.check("aknn fan-out")
+        timer = Timer().start()
+        live, failed = self._admit_shards()
+        if not live:
+            raise self._unavailable(failed)
+        run = self._aknn_run(query, k, alpha, method, rng)
+        outcomes = self._map_outcomes(live, "aknn", run, deadline=deadline)
+        answered: List[_Shard] = []
+        per_shard: List[Tuple[List[Neighbor], QueryStats]] = []
+        for shard, (kind, value) in zip(live, outcomes):
+            if kind == "ok":
+                answered.append(shard)
+                per_shard.append(value)
+            else:
+                failed[shard.index] = value
+        if not answered:
+            raise self._unavailable(failed)
+        result = self._aknn_merge(per_shard, k, alpha, method, timer)
+        result.coverage = self._coverage(answered, failed)
+        return result
+
+    def _aknn_on(
+        self,
+        shards: Sequence[_Shard],
+        query: FuzzyObject,
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+        rng: Optional[np.random.Generator] = None,
+        deadline=None,
+    ) -> AKNNResult:
+        """Strict AKNN over a fixed shard set (RKNN sweep building block).
+
+        Raises :class:`_FanoutFailure` on any shard loss: a sweep's
+        sub-queries must all answer against the same live set, so the sweep's
+        exclusion loop reruns the whole sweep against the survivors rather
+        than merging a silently partial sub-answer into its ranges.
+        """
+        self._check_aknn_args(k, method)
+        if deadline is not None:
+            deadline.check("aknn fan-out")
+        timer = Timer().start()
+        run = self._aknn_run(query, k, alpha, method, rng)
+        per_shard = self._map_strict(shards, "aknn", run, deadline=deadline)
+        return self._aknn_merge(per_shard, k, alpha, method, timer)
 
     def _run_aknn_batch(
         self,
@@ -453,28 +861,68 @@ class ShardedDatabase:
         method: str = "lb_lp_ub",
         workers: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        deadline=None,
     ) -> BatchResult:
-        """Batched AKNN: every shard answers the whole batch through its
-        vectorized executor, then each query's shard answers merge globally."""
+        """Batched AKNN with shard-failure isolation.
+
+        The batch is *coupled* across shards — the globally bootstrapped
+        pruning radii fold every shard's nominees together, so a mid-pass
+        shard failure cannot simply drop that shard's slice (a dead shard's
+        nominee could have set a radius that over-prunes a survivor).
+        Instead the whole pass reruns against the surviving shards only,
+        which makes the partial answer exactly what a fresh query against
+        those shards would return.
+        """
         self._check_aknn_args(k, method)
         queries = list(queries)
+        live, failed = self._admit_shards()
+        while True:
+            if not live:
+                raise self._unavailable(failed)
+            try:
+                batch = self._aknn_batch_on(
+                    live, queries, k, alpha,
+                    method=method, workers=workers, rng=rng, deadline=deadline,
+                )
+                break
+            except _FanoutFailure as failure:
+                live = self._drop_lost(live, failure, failed)
+        coverage = self._coverage(live, failed)
+        batch.coverage = coverage
+        for result in batch.results:
+            result.coverage = coverage
+        return batch
+
+    def _aknn_batch_on(
+        self,
+        shards: Sequence[_Shard],
+        queries: Sequence[FuzzyObject],
+        k: int,
+        alpha: float,
+        method: str = "lb_lp_ub",
+        workers: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        deadline=None,
+    ) -> BatchResult:
+        """One batched-AKNN pass against a fixed shard set (strict)."""
         timer = Timer().start()
-        # The whole batch runs under every shard's read lock: the globally
-        # bootstrapped pruning radii are only valid against the dataset they
-        # were probed from, so a delete landing between bootstrap and
-        # fan-out could otherwise prune true neighbours.  Readers share the
-        # locks freely — only live updates are held off until the batch is
-        # done.  The per-shard calls below must stay lock-free (the lock is
-        # not reentrant and writer preference would deadlock nested reads).
+        # The whole pass runs under every covered shard's read lock: the
+        # globally bootstrapped pruning radii are only valid against the
+        # dataset they were probed from, so a delete landing between
+        # bootstrap and fan-out could otherwise prune true neighbours.
+        # Readers share the locks freely — only live updates are held off
+        # until the pass is done.  The per-shard calls below must stay
+        # lock-free (the lock is not reentrant and writer preference would
+        # deadlock nested reads).
         with ExitStack() as stack:
-            for shard in self._shards:
+            for shard in shards:
                 stack.enter_context(shard.lock.read())
             # One global nominate-and-probe pass replaces N per-shard
             # bootstraps and hands every shard the tight global radius to
             # prune against, plus the exact distances already paid for.
             bootstrap = (
-                self._global_bootstrap(queries, k, alpha, rng)
-                if queries and len(self._shards) > 1
+                self._global_bootstrap(shards, queries, k, alpha, rng)
+                if queries and len(shards) > 1
                 else None
             )
             initial_tau, initial_exact = bootstrap if bootstrap else (None, None)
@@ -483,9 +931,12 @@ class ShardedDatabase:
                 return shard.db._run_aknn_batch(
                     queries, k, alpha, method=method, workers=workers, rng=rng,
                     initial_tau=initial_tau, initial_exact=initial_exact,
+                    deadline=deadline,
                 )
 
-            shard_batches = self._map_shards(run)
+            shard_batches = self._map_strict(
+                shards, "aknn_batch", run, deadline=deadline
+            )
         results: List[AKNNResult] = []
         for qi in range(len(queries)):
             per_shard = [batch.results[qi].neighbors for batch in shard_batches]
@@ -510,7 +961,7 @@ class ShardedDatabase:
         stats.aknn_calls = len(queries)
         stats.elapsed_seconds = timer.stop()
         stats.extra["batch_queries"] = float(len(queries))
-        stats.extra["shard_fanouts"] = float(len(self._shards))
+        stats.extra["shard_fanouts"] = float(len(shards))
         if stats.elapsed_seconds > 0.0:
             stats.extra["throughput_qps"] = len(queries) / stats.elapsed_seconds
         return BatchResult(results=results, k=k, alpha=alpha, method=method, stats=stats)
@@ -521,15 +972,34 @@ class ShardedDatabase:
         alpha: float,
         radius: float,
         rng: Optional[np.random.Generator] = None,
+        deadline=None,
     ) -> RangeSearchResult:
-        """All objects within ``radius`` at ``alpha``: union of shard answers."""
+        """All objects within ``radius`` at ``alpha``: union of shard answers.
+
+        Per-shard answers are independent, so failures are isolated: the
+        surviving shards' matches form a partial result whose coverage names
+        the shards that failed.
+        """
         timer = Timer().start()
+        live, failed = self._admit_shards()
+        if not live:
+            raise self._unavailable(failed)
 
         def run(shard: _Shard) -> RangeSearchResult:
             with shard.lock.read():
                 return shard.db._range.search(query, alpha, radius, rng=rng)
 
-        per_shard = self._map_shards(run)
+        outcomes = self._map_outcomes(live, "range", run, deadline=deadline)
+        answered: List[_Shard] = []
+        per_shard: List[RangeSearchResult] = []
+        for shard, (kind, value) in zip(live, outcomes):
+            if kind == "ok":
+                answered.append(shard)
+                per_shard.append(value)
+            else:
+                failed[shard.index] = value
+        if not answered:
+            raise self._unavailable(failed)
         matches = [match for result in per_shard for match in result.matches]
         matches.sort(key=lambda pair: (pair[1], pair[0]))
         stats = QueryStats()
@@ -537,8 +1007,11 @@ class ShardedDatabase:
             stats.merge(result.stats)
         stats.range_calls = 1
         stats.elapsed_seconds = timer.stop()
-        stats.extra["shard_fanouts"] = float(len(self._shards))
-        return RangeSearchResult(matches=matches, radius=radius, alpha=alpha, stats=stats)
+        stats.extra["shard_fanouts"] = float(len(answered))
+        return RangeSearchResult(
+            matches=matches, radius=radius, alpha=alpha, stats=stats,
+            coverage=self._coverage(answered, failed),
+        )
 
     def _run_reverse_bucket(
         self,
@@ -547,25 +1020,16 @@ class ShardedDatabase:
         alpha: float,
         method: str = "batch",
         rng: Optional[np.random.Generator] = None,
+        deadline=None,
     ) -> List[ReverseKNNResult]:
         """Answer a bucket of reverse AKNN queries sharing ``(k, alpha)``.
 
-        The sharded analogue of
-        :meth:`~repro.core.reverse_nn.ReverseAKNNSearcher.search_batch`:
-
-        1. every shard exports its ``(n_s, d)`` Equation-2 box arrays from
-           the leaf SoA views (one gather, under all shard read locks);
-        2. each shard evaluates the all-pairs disqualification test for *its*
-           rows against the **global** box set in parallel — so candidate
-           sets are exactly as tight as the unsharded filter — and the
-           surviving candidates merge globally;
-        3. every shard verifies the merged candidate list through its batch
-           executor with the globally valid per-candidate radii
-           (``d_alpha(A, Q)``, maximised over the bucket), and per-candidate
-           (k+1)-NN lists merge across shards before the membership count.
-
-        Holding every shard's read lock for the whole pass keeps the radii
-        and the owner snapshot consistent under live updates.
+        Like the batched AKNN, the reverse pass is *coupled* across shards
+        (the filter compares every shard's rows against the global box set,
+        and verification radii fold all shards' candidates together), so a
+        mid-pass shard failure reruns the whole pass against the survivors —
+        the partial answer is exactly what a fresh query against only those
+        shards would return, with coverage naming the shards that failed.
         """
         if k <= 0:
             raise InvalidQueryError(f"k must be positive, got {k}")
@@ -579,21 +1043,70 @@ class ShardedDatabase:
         queries = list(queries)
         if not queries:
             return []
+        live, failed = self._admit_shards()
+        while True:
+            if not live:
+                raise self._unavailable(failed)
+            try:
+                results = self._reverse_bucket_on(
+                    live, queries, k, alpha, method=method, rng=rng,
+                    deadline=deadline,
+                )
+                break
+            except _FanoutFailure as failure:
+                live = self._drop_lost(live, failure, failed)
+        coverage = self._coverage(live, failed)
+        for result in results:
+            result.coverage = coverage
+        return results
+
+    def _reverse_bucket_on(
+        self,
+        shards: Sequence[_Shard],
+        queries: Sequence[FuzzyObject],
+        k: int,
+        alpha: float,
+        method: str = "batch",
+        rng: Optional[np.random.Generator] = None,
+        deadline=None,
+    ) -> List[ReverseKNNResult]:
+        """One reverse-bucket pass against a fixed shard set (strict).
+
+        The sharded analogue of
+        :meth:`~repro.core.reverse_nn.ReverseAKNNSearcher.search_batch`:
+
+        1. every covered shard exports its ``(n_s, d)`` Equation-2 box arrays
+           from the leaf SoA views (one gather, under the shard read locks);
+        2. each shard evaluates the all-pairs disqualification test for *its*
+           rows against the **global** box set in parallel — so candidate
+           sets are exactly as tight as the unsharded filter — and the
+           surviving candidates merge globally;
+        3. every shard verifies the merged candidate list through its batch
+           executor with the globally valid per-candidate radii
+           (``d_alpha(A, Q)``, maximised over the bucket), and per-candidate
+           (k+1)-NN lists merge across shards before the membership count.
+
+        Holding every covered shard's read lock for the whole pass keeps the
+        radii and the owner snapshot consistent under live updates.
+        """
         timer = Timer().start()
         n_queries = len(queries)
         accesses_before = sum(
-            shard.db.store.statistics.object_accesses for shard in self._shards
+            shard.db.store.statistics.object_accesses for shard in shards
         )
 
         # The per-shard calls below run on fan-out threads while this thread
         # holds every read lock, so they must stay lock-free (the RW lock is
         # not reentrant and writer preference would deadlock nested reads).
         with ExitStack() as stack:
-            for shard in self._shards:
+            for shard in shards:
                 stack.enter_context(shard.lock.read())
 
-            gathered = self._map_shards(
-                lambda shard: shard.db.tree.leaf_alpha_bounds(alpha)
+            gathered = self._map_strict(
+                shards,
+                "reverse_gather",
+                lambda shard: shard.db.tree.leaf_alpha_bounds(alpha),
+                deadline=deadline,
             )
             parts = [g for g in gathered if g[0].shape[0] > 0]
             if not parts:
@@ -608,11 +1121,13 @@ class ShardedDatabase:
             # Row ranges of each shard within the concatenated global arrays.
             spans: Dict[int, Tuple[int, int]] = {}
             offset = 0
-            for shard_index, g in enumerate(gathered):
+            for shard, g in zip(shards, gathered):
                 rows = g[0].shape[0]
-                spans[shard_index] = (offset, offset + rows)
+                spans[shard.index] = (offset, offset + rows)
                 offset += rows
 
+            if deadline is not None:
+                deadline.check("reverse filter")
             prepared = [PreparedQuery(q, alpha, self.config, rng) for q in queries]
             if method == "linear":
                 masks = np.ones((n_queries, ids.shape[0]), dtype=bool)
@@ -632,7 +1147,9 @@ class ShardedDatabase:
                         self_index=np.arange(start, stop),
                     )
 
-                blocks = self._map_shards(filter_rows)
+                blocks = self._map_strict(
+                    shards, "reverse_filter", filter_rows, deadline=deadline
+                )
                 counts = np.concatenate(
                     [b for b in blocks if b is not None], axis=1
                 )
@@ -666,11 +1183,17 @@ class ShardedDatabase:
                     )
                     for _ in queries
                 ]
-            shard_batches = self._map_shards(
+            if deadline is not None:
+                deadline.check("reverse verification")
+            shard_batches = self._map_strict(
+                shards,
+                "reverse_verify",
                 lambda shard: shard.db._run_aknn_batch(
                     plan.cand_objs, k + 1, alpha, rng=rng,
                     initial_tau=plan.tau, initial_exact=plan.seeds,
-                )
+                    deadline=deadline,
+                ),
+                deadline=deadline,
             )
 
         merged = [
@@ -697,7 +1220,7 @@ class ShardedDatabase:
             totals={
                 "object_accesses": sum(
                     shard.db.store.statistics.object_accesses
-                    for shard in self._shards
+                    for shard in shards
                 )
                 - accesses_before,
                 "node_accesses": sum(
@@ -716,7 +1239,7 @@ class ShardedDatabase:
             },
             extra_common={
                 "batch_reverse_queries": float(n_queries),
-                "shard_fanouts": float(len(self._shards)),
+                "shard_fanouts": float(len(shards)),
             },
         )
 
@@ -1001,25 +1524,42 @@ class _FederatedStore:
 
     Implements exactly the slice of the :class:`ObjectStore` interface the
     RKNN searcher consumes (``get``, ``object_ids``, ``statistics``), so the
-    sweep algorithms run unmodified over the partitioned data.
+    sweep algorithms run unmodified over the partitioned data.  When pinned
+    to a live subset (a degraded sweep) it only sees those shards' objects —
+    a read routed to an excluded shard raises :class:`_FanoutFailure` so the
+    sweep's exclusion loop restarts rather than mixing in a dead shard.
     """
 
-    def __init__(self, sharded: ShardedDatabase):
+    def __init__(
+        self, sharded: ShardedDatabase, shards: Optional[Sequence[_Shard]] = None
+    ):
         self._sharded = sharded
+        self._shards = None if shards is None else list(shards)
+
+    def _live(self) -> Sequence[_Shard]:
+        return self._sharded._shards if self._shards is None else self._shards
 
     def get(self, object_id: int) -> FuzzyObject:
         shard = self._sharded._owner_shard(object_id)
+        if self._shards is not None and shard not in self._shards:
+            raise _FanoutFailure({shard.index: "shard excluded from live set"})
         with shard.lock.read():
             return shard.db.store.get(object_id)
 
     def object_ids(self) -> List[int]:
-        return self._sharded.object_ids()
+        if self._shards is None:
+            return self._sharded.object_ids()
+        ids: List[int] = []
+        for shard in self._shards:
+            with shard.lock.read():
+                ids.extend(shard.db.object_ids())
+        return sorted(ids)
 
     @property
     def statistics(self) -> StoreStatistics:
-        """Summed counters across shard stores (snapshot-compatible)."""
+        """Summed counters across the covered shard stores."""
         total = StoreStatistics()
-        for shard in self._sharded._shards:
+        for shard in self._live():
             stats = shard.db.store.statistics
             total.object_accesses += stats.object_accesses
             total.physical_reads += stats.physical_reads
@@ -1031,10 +1571,22 @@ class _FederatedStore:
 
 
 class _FanoutAKNNAdapter:
-    """AKNN-searcher facade over the sharded fan-out (for the RKNN sweep)."""
+    """AKNN-searcher facade over the sharded fan-out (for the RKNN sweep).
 
-    def __init__(self, sharded: ShardedDatabase):
+    Always strict: a sweep's sub-queries must all answer against the same
+    live set, so any shard loss surfaces as :class:`_FanoutFailure` for the
+    sweep bucket's exclusion loop instead of a silently partial merge.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedDatabase,
+        shards: Optional[Sequence[_Shard]] = None,
+        deadline=None,
+    ):
         self._sharded = sharded
+        self._shards = None if shards is None else list(shards)
+        self._deadline = deadline
 
     def search(
         self,
@@ -1044,14 +1596,25 @@ class _FanoutAKNNAdapter:
         method: str = "lb_lp_ub",
         rng: Optional[np.random.Generator] = None,
     ) -> AKNNResult:
-        return self._sharded._aknn_single(query, k, alpha, method=method, rng=rng)
+        shards = self._shards if self._shards is not None else self._sharded._shards
+        return self._sharded._aknn_on(
+            shards, query, k, alpha, method=method, rng=rng,
+            deadline=self._deadline,
+        )
 
 
 class _FanoutRangeAdapter:
-    """Range-searcher facade collecting candidates from every shard."""
+    """Range-searcher facade collecting candidates from the covered shards."""
 
-    def __init__(self, sharded: ShardedDatabase):
+    def __init__(
+        self,
+        sharded: ShardedDatabase,
+        shards: Optional[Sequence[_Shard]] = None,
+        deadline=None,
+    ):
         self._sharded = sharded
+        self._shards = None if shards is None else list(shards)
+        self._deadline = deadline
 
     def collect(
         self,
@@ -1059,13 +1622,20 @@ class _FanoutRangeAdapter:
         radius: float,
         use_improved_bounds: bool = True,
     ) -> Tuple[List[Tuple[int, float]], Dict[int, FuzzyObject]]:
-        matches: List[Tuple[int, float]] = []
-        objects: Dict[int, FuzzyObject] = {}
-        for shard in self._sharded._shards:
+        shards = self._shards if self._shards is not None else self._sharded._shards
+
+        def run(shard: _Shard):
             with shard.lock.read():
-                shard_matches, shard_objects = shard.db._range.collect(
+                return shard.db._range.collect(
                     prepared, radius, use_improved_bounds=use_improved_bounds
                 )
+
+        per_shard = self._sharded._map_strict(
+            shards, "range", run, deadline=self._deadline
+        )
+        matches: List[Tuple[int, float]] = []
+        objects: Dict[int, FuzzyObject] = {}
+        for shard_matches, shard_objects in per_shard:
             matches.extend(shard_matches)
             objects.update(shard_objects)
         matches.sort(key=lambda pair: (pair[1], pair[0]))
@@ -1079,10 +1649,22 @@ class _FederatedRKNNSearcher(RKNNSearcher):
     call fixing radii, the range search collecting candidates, and the store
     probes materialising distance profiles — is swapped for its globally
     correct fan-out equivalent; the sweep logic itself is inherited verbatim,
-    so qualifying ranges match the single-tree searcher exactly.
+    so qualifying ranges match the single-tree searcher exactly.  ``shards``
+    pins the searcher to a live subset (degraded operation) and ``deadline``
+    bounds every federated sub-query.
     """
 
-    def __init__(self, sharded: ShardedDatabase, config: RuntimeConfig):
-        super().__init__(_FederatedStore(sharded), None, config)
-        self.aknn_searcher = _FanoutAKNNAdapter(sharded)
-        self.range_searcher = _FanoutRangeAdapter(sharded)
+    def __init__(
+        self,
+        sharded: ShardedDatabase,
+        config: RuntimeConfig,
+        shards: Optional[Sequence[_Shard]] = None,
+        deadline=None,
+    ):
+        super().__init__(_FederatedStore(sharded, shards=shards), None, config)
+        self.aknn_searcher = _FanoutAKNNAdapter(
+            sharded, shards=shards, deadline=deadline
+        )
+        self.range_searcher = _FanoutRangeAdapter(
+            sharded, shards=shards, deadline=deadline
+        )

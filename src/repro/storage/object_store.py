@@ -174,9 +174,10 @@ class ObjectStore:
         """
         self._ensure_open()
         object_id = int(object_id)
-        if object_id not in self._slots:
+        # pop() keeps concurrent deletes of the same id race-free: exactly
+        # one caller wins, the other sees the consistent not-found.
+        if self._slots.pop(object_id, None) is None:
             raise ObjectNotFoundError(f"object {object_id} is not in the store")
-        del self._slots[object_id]
         self._memory.pop(object_id, None)
         self._cache.invalidate(object_id)
         self.statistics.deletes += 1
@@ -221,7 +222,11 @@ class ObjectStore:
         return [fetched[object_id] for object_id in ids]
 
     def _read_payload(self, object_id: int) -> bytes:
-        slot = self._slots[object_id]
+        # Re-fetch instead of indexing: a delete racing a read must surface
+        # as the not-found the caller already handles, never a KeyError.
+        slot = self._slots.get(object_id)
+        if slot is None:
+            raise ObjectNotFoundError(f"object {object_id} is not in the store")
         if self._file is not None:
             self._file.flush()
             self._file.seek(slot.offset)

@@ -1,0 +1,746 @@
+"""Chaos suite for the fault-tolerant serving layer.
+
+Covers the failure-semantics contract end to end:
+
+* the policy primitives (Deadline, RetryPolicy, CircuitBreaker);
+* FaultSpec / FaultPlan parsing and trigger accounting;
+* partial-result parity — under an injected permanent single-shard failure,
+  every query kind returns exactly what a fresh database built from only the
+  surviving shards' objects would return, with coverage naming the dead shard;
+* the acceptance scenario — a 64-request mixed service batch over a dead
+  shard yields 64 partial results, zero hung futures, an open breaker, and
+  instant shedding afterwards; ``require_full`` flips the same workload to
+  fail-closed with a retry-after hint;
+* deadline propagation (expired before execution, expired in queue, expired
+  mid-execution under a delay fault);
+* the ``stop()`` audit — no submitted future may ever hang;
+* delete-vs-query churn (races report ObjectNotFoundError, never KeyError);
+* RetryingClient honouring the retry-after backpressure contract.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.database import FuzzyDatabase
+from repro.core.requests import (
+    AknnRequest,
+    RangeRequest,
+    ReverseRequest,
+    SweepRequest,
+)
+from repro.datasets.builder import build_dataset
+from repro.datasets.queries import generate_query_object
+from repro.exceptions import (
+    DeadlineExceededError,
+    FaultInjectedError,
+    InvalidQueryError,
+    ObjectNotFoundError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    ShardUnavailableError,
+)
+from repro.metrics.counters import MetricsCollector
+from repro.service import (
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    FaultPlan,
+    FaultSpec,
+    QueryService,
+    RetryBudgetExhaustedError,
+    RetryPolicy,
+    RetryingClient,
+    ShardedDatabase,
+)
+from repro.service import query_service as query_service_module
+from tests.conftest import assert_same_assignments
+
+DEAD = 1  # the shard every permanent-failure scenario kills
+
+
+@pytest.fixture(scope="module")
+def objects():
+    return build_dataset(
+        kind="synthetic", n_objects=48, points_per_object=12, seed=77, space_size=8.0
+    )
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(505)
+    return [
+        generate_query_object(rng, kind="synthetic", space_size=8.0, points_per_object=12)
+        for _ in range(3)
+    ]
+
+
+def chaos_config(**overrides):
+    """A config with fast retries so injected failures resolve in microseconds."""
+    base = dict(
+        rtree_max_entries=8,
+        cache_capacity=32,
+        shard_retry_attempts=2,
+        shard_retry_base_ms=0.1,
+        shard_retry_max_ms=0.5,
+        breaker_failure_threshold=1000,  # parity tests exercise retry exhaustion
+        breaker_reset_timeout_ms=60_000.0,
+    )
+    base.update(overrides)
+    return RuntimeConfig(**base)
+
+
+def build_dead_shard_pair(objects, config=None, plan="shard=%d,kind=raise" % DEAD):
+    """A 3-shard database with one permanently dead shard, plus the reference
+    database holding only the surviving shards' objects."""
+    config = config or chaos_config()
+    sharded = ShardedDatabase.build(
+        list(objects), n_shards=3, placement="hash", config=config
+    )
+    survivors = [
+        sharded.get_object(object_id)
+        for shard in sharded._shards
+        if shard.index != DEAD
+        for object_id in shard.db.object_ids()
+    ]
+    reference = FuzzyDatabase.build(survivors, config=config)
+    sharded.fault_plan = FaultPlan.parse(plan)
+    return sharded, reference
+
+
+def assert_partial_coverage(result):
+    coverage = result.coverage
+    assert coverage is not None
+    assert not coverage.complete
+    assert DEAD in coverage.failed
+    assert DEAD not in coverage.answered
+    assert coverage.total_shards == 3
+    assert coverage.reason_for(DEAD) is not None
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def now(self):
+        return self.t
+
+    def advance(self, seconds):
+        self.t += seconds
+
+
+# ---------------------------------------------------------------------------
+# Policy primitives
+# ---------------------------------------------------------------------------
+class TestDeadline:
+    def test_after_ms_and_remaining(self):
+        deadline = Deadline.after_ms(50.0)
+        assert not deadline.expired()
+        assert 0.0 < deadline.remaining_ms() <= 50.0
+        deadline.check("unit")  # does not raise while live
+
+    def test_expired_check_raises(self):
+        deadline = Deadline(time.monotonic() - 0.01)
+        assert deadline.expired()
+        assert deadline.remaining_ms() < 0.0
+        with pytest.raises(DeadlineExceededError, match="unit deadline exceeded"):
+            deadline.check("unit")
+
+    def test_earliest_picks_tightest_and_ignores_none(self):
+        near = Deadline(time.monotonic() + 0.1)
+        far = Deadline(time.monotonic() + 10.0)
+        assert Deadline.earliest(far, None, near) is near
+        assert Deadline.earliest(None, None) is None
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_ms=10, max_delay_ms=35, multiplier=2, jitter=0.0
+        )
+        delays = [policy.delay_seconds(i) * 1000.0 for i in range(4)]
+        assert delays == [10.0, 20.0, 35.0, 35.0]
+
+    def test_jitter_scales_within_bounds(self):
+        policy = RetryPolicy(base_delay_ms=100, max_delay_ms=100, jitter=0.5)
+        assert policy.delay_seconds(0, rand=lambda: 0.0) * 1000.0 == 100.0
+        assert policy.delay_seconds(0, rand=lambda: 1.0) * 1000.0 == 50.0
+
+    def test_from_config_and_validation(self):
+        policy = RetryPolicy.from_config(chaos_config(shard_retry_attempts=4))
+        assert policy.max_attempts == 4
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout_ms=100, clock=clock.now
+        )
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.record_failure() is True  # this one opened it
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.shedding()
+        assert 0.0 < breaker.retry_after_ms() <= 100.0
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.record_failure() is False
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_ms=100, half_open_probes=1,
+            clock=clock.now,
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(0.2)  # cool-off elapsed
+        assert not breaker.shedding()
+        assert breaker.allow()  # the probe slot
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow()  # only one probe admitted
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens_for_full_cooloff(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_ms=100, clock=clock.now
+        )
+        breaker.record_failure()
+        clock.advance(0.2)
+        assert breaker.allow()
+        assert breaker.record_failure() is True  # re-opened
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.retry_after_ms() == pytest.approx(100.0)
+
+
+# ---------------------------------------------------------------------------
+# Fault plans
+# ---------------------------------------------------------------------------
+class TestFaultPlan:
+    def test_parse_round_trip(self):
+        plan = FaultPlan.parse(
+            "shard=1,kind=raise; shard=0,op=aknn_batch,kind=delay,delay_ms=5,after=2,count=3"
+        )
+        assert len(plan.specs) == 2
+        first, second = plan.specs
+        assert (first.shard, first.kind, first.count) == (1, "raise", None)
+        assert (second.op, second.after, second.count, second.delay_ms) == (
+            "aknn_batch", 2, 3, 5.0,
+        )
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(InvalidQueryError):
+            FaultPlan.parse("")
+        with pytest.raises(InvalidQueryError):
+            FaultPlan.parse("shard1kindraise")
+        with pytest.raises(InvalidQueryError):
+            FaultPlan.parse("bogus_key=1")
+        with pytest.raises(InvalidQueryError):
+            FaultSpec(kind="explode")
+        with pytest.raises(InvalidQueryError):
+            FaultSpec(op="no_such_op")
+        with pytest.raises(InvalidQueryError):
+            FaultSpec(count=0)
+
+    def test_after_and_count_window(self):
+        plan = FaultPlan.parse("shard=0,kind=raise,after=1,count=2")
+        plan.invoke(0, "aknn")  # call 0: skipped by `after`
+        with pytest.raises(FaultInjectedError):
+            plan.invoke(0, "aknn")  # call 1: armed
+        with pytest.raises(FaultInjectedError):
+            plan.invoke(0, "aknn")  # call 2: armed
+        plan.invoke(0, "aknn")  # call 3: rule exhausted
+        plan.invoke(1, "aknn")  # different shard never matched
+        assert plan.total_fired() == 2
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan(
+            [FaultSpec(kind="delay", delay_ms=0.0, shard=0), FaultSpec(kind="raise")]
+        )
+        plan.invoke(0, "range")  # delay rule absorbs the call
+        with pytest.raises(FaultInjectedError):
+            plan.invoke(1, "range")  # falls through to the raise rule
+        assert plan.fired == [1, 1]
+
+    def test_random_plans_are_transient_and_seeded(self):
+        rng = np.random.default_rng(9)
+        plan = FaultPlan.random(rng, n_shards=3, n_rules=5)
+        assert len(plan.specs) == 5
+        for spec in plan.specs:
+            assert spec.count is not None  # transient: retries eventually win
+            assert spec.kind in ("raise", "delay")
+            assert 0 <= spec.shard < 3
+        again = FaultPlan.random(np.random.default_rng(9), n_shards=3, n_rules=5)
+        assert [s.shard for s in again.specs] == [s.shard for s in plan.specs]
+
+
+# ---------------------------------------------------------------------------
+# Partial-result parity under a dead shard
+# ---------------------------------------------------------------------------
+class TestPartialParity:
+    """Surviving shards' answers must equal a fresh query against a database
+    holding only the surviving shards' objects."""
+
+    @pytest.fixture(scope="class")
+    def dead_pair(self, objects):
+        sharded, reference = build_dead_shard_pair(objects)
+        yield sharded, reference
+        sharded.close()
+        reference.close()
+
+    def test_aknn_single(self, dead_pair, queries):
+        sharded, reference = dead_pair
+        for query in queries:
+            got = sharded.execute(AknnRequest(query, k=5, alpha=0.5))
+            want = reference.execute(AknnRequest(query, k=5, alpha=0.5))
+            assert_partial_coverage(got)
+            assert set(got.object_ids) == set(want.object_ids)
+
+    def test_aknn_batch(self, dead_pair, queries):
+        sharded, reference = dead_pair
+        requests = [AknnRequest(q, k=4, alpha=0.6) for q in queries]
+        got = sharded.execute_batch(requests)
+        want = reference.execute_batch(requests)
+        for got_one, want_one in zip(got, want):
+            assert_partial_coverage(got_one)
+            assert set(got_one.object_ids) == set(want_one.object_ids)
+
+    def test_range(self, dead_pair, queries):
+        sharded, reference = dead_pair
+        request = RangeRequest(queries[0], alpha=0.5, radius=3.0)
+        got = sharded.execute(request)
+        want = reference.execute(request)
+        assert_partial_coverage(got)
+        assert sorted(got.matches) == pytest.approx(sorted(want.matches))
+
+    def test_sweep(self, dead_pair, queries):
+        sharded, reference = dead_pair
+        request = SweepRequest(queries[0], k=3, alpha_range=(0.45, 0.6))
+        got = sharded.execute(request)
+        want = reference.execute(request)
+        assert_partial_coverage(got)
+        assert_same_assignments(got.assignments, want.assignments)
+
+    def test_reverse(self, dead_pair, queries):
+        sharded, reference = dead_pair
+        rng = np.random.default_rng(3)
+        request = ReverseRequest(queries[1], k=3, alpha=0.5)
+        got = sharded.execute(request, rng=rng)
+        want = reference.execute(request, rng=np.random.default_rng(3))
+        assert_partial_coverage(got)
+        assert set(got.object_ids) == set(want.object_ids)
+        for object_id, distance in got.distances.items():
+            assert distance == pytest.approx(want.distances[object_id])
+
+    def test_retries_recover_transient_faults_completely(self, objects, queries):
+        """A fault bounded below the retry budget never surfaces at all."""
+        config = chaos_config(shard_retry_attempts=3)
+        sharded = ShardedDatabase.build(
+            list(objects), n_shards=3, placement="hash", config=config
+        )
+        try:
+            sharded.fault_plan = FaultPlan.parse("shard=0,kind=raise,count=2")
+            result = sharded.execute(AknnRequest(queries[0], k=5, alpha=0.5))
+            assert result.coverage is not None and result.coverage.complete
+            assert sharded.fault_plan.total_fired() == 2
+            assert sharded.metrics.as_dict()[MetricsCollector.RETRIES] >= 2
+        finally:
+            sharded.close()
+
+
+# ---------------------------------------------------------------------------
+# The acceptance scenario: dead shard + mixed service batch
+# ---------------------------------------------------------------------------
+class TestFailureIsolation:
+    @pytest.fixture(scope="class")
+    def dead_service_pair(self, objects):
+        config = chaos_config(
+            shard_retry_attempts=2, breaker_failure_threshold=2,
+        )
+        sharded, reference = build_dead_shard_pair(objects, config=config)
+        yield sharded, reference
+        sharded.close()
+        reference.close()
+
+    def mixed_requests(self, queries, n=64):
+        requests = []
+        for i in range(n):
+            query = queries[i % len(queries)]
+            kind = i % 16
+            if kind < 8:
+                requests.append(AknnRequest(query, k=2 + i % 3, alpha=0.5))
+            elif kind < 12:
+                requests.append(RangeRequest(query, alpha=0.5, radius=2.0 + i % 2))
+            elif kind < 15:
+                requests.append(ReverseRequest(query, k=2, alpha=0.5))
+            else:
+                requests.append(SweepRequest(query, k=2, alpha_range=(0.45, 0.55)))
+        return requests
+
+    def test_mixed_batch_returns_64_partial_results(
+        self, dead_service_pair, queries
+    ):
+        sharded, _ = dead_service_pair
+        requests = self.mixed_requests(queries, n=64)
+        with QueryService(sharded, window_ms=1.0, max_batch=32) as service:
+            futures = [service.submit_request(r) for r in requests]
+            results = [f.result(timeout=60.0) for f in futures]  # zero hung futures
+        assert len(results) == 64
+        for result in results:
+            assert_partial_coverage(result)
+        # The permanent failure tripped the breaker and was counted.
+        assert sharded._shards[DEAD].breaker.state is BreakerState.OPEN
+        counters = sharded.metrics.as_dict()
+        assert counters[MetricsCollector.BREAKER_OPEN] >= 1
+        assert counters[MetricsCollector.RETRIES] >= 1
+        assert counters[MetricsCollector.PARTIAL_RESULTS] >= 64
+
+    def test_open_breaker_sheds_without_touching_the_shard(
+        self, dead_service_pair, queries
+    ):
+        sharded, reference = dead_service_pair
+        assert sharded._shards[DEAD].breaker.state is BreakerState.OPEN
+        fired_before = sharded.fault_plan.total_fired()
+        shed_before = sharded.metrics.as_dict().get(MetricsCollector.BREAKER_SHED, 0)
+        got = sharded.execute(AknnRequest(queries[0], k=5, alpha=0.5))
+        # Shed at admission: the dead shard was never invoked, no retry burned.
+        assert sharded.fault_plan.total_fired() == fired_before
+        assert sharded.metrics.as_dict()[MetricsCollector.BREAKER_SHED] > shed_before
+        assert got.coverage.reason_for(DEAD) == "circuit breaker open"
+        want = reference.execute(AknnRequest(queries[0], k=5, alpha=0.5))
+        assert set(got.object_ids) == set(want.object_ids)
+
+    def test_require_full_fails_closed_with_retry_after(
+        self, dead_service_pair, queries
+    ):
+        sharded, _ = dead_service_pair
+        with pytest.raises(ShardUnavailableError) as excinfo:
+            sharded.execute(AknnRequest(queries[0], k=5, alpha=0.5, require_full=True))
+        error = excinfo.value
+        assert DEAD in error.shards
+        assert error.retry_after_ms is not None and error.retry_after_ms > 0.0
+
+    def test_require_full_through_the_service(self, dead_service_pair, queries):
+        sharded, _ = dead_service_pair
+        with QueryService(sharded, window_ms=1.0) as service:
+            future = service.submit_request(
+                RangeRequest(queries[0], alpha=0.5, radius=2.0, require_full=True)
+            )
+            with pytest.raises(ShardUnavailableError):
+                future.result(timeout=30.0)
+
+    def test_all_shards_dead_raises_even_when_partials_allowed(self, objects, queries):
+        sharded = ShardedDatabase.build(
+            list(objects), n_shards=2, placement="hash", config=chaos_config()
+        )
+        try:
+            sharded.fault_plan = FaultPlan.parse("kind=raise")
+            with pytest.raises(ShardUnavailableError) as excinfo:
+                sharded.execute(AknnRequest(queries[0], k=3, alpha=0.5))
+            assert excinfo.value.retry_after_ms is not None
+        finally:
+            sharded.close()
+
+
+# ---------------------------------------------------------------------------
+# Deadline propagation
+# ---------------------------------------------------------------------------
+class TestDeadlines:
+    @pytest.fixture(scope="class")
+    def sharded(self, objects):
+        db = ShardedDatabase.build(
+            list(objects), n_shards=2, placement="hash", config=chaos_config()
+        )
+        yield db
+        db.close()
+
+    def test_expired_before_execution(self, sharded, queries):
+        with pytest.raises(DeadlineExceededError):
+            sharded.execute(AknnRequest(queries[0], k=3, alpha=0.5, deadline_ms=1e-3))
+
+    def test_deadline_ms_must_be_positive(self, queries):
+        with pytest.raises(InvalidQueryError):
+            AknnRequest(queries[0], k=3, alpha=0.5, deadline_ms=0.0)
+
+    def test_delay_fault_blows_the_deadline(self, objects, queries):
+        sharded = ShardedDatabase.build(
+            list(objects), n_shards=2, placement="hash", config=chaos_config()
+        )
+        try:
+            sharded.fault_plan = FaultPlan.parse("kind=delay,delay_ms=120")
+            requests = [
+                AknnRequest(q, k=3, alpha=0.5, deadline_ms=25.0) for q in queries[:2]
+            ]
+            with pytest.raises(DeadlineExceededError):
+                sharded.execute_batch(requests)
+            counters = sharded.metrics.as_dict()
+            assert counters.get(MetricsCollector.DEADLINE_EXPIRED, 0) >= 0
+        finally:
+            sharded.close()
+
+    def test_expired_in_queue_is_withdrawn(self, sharded, queries, monkeypatch):
+        real_execute_plan = query_service_module.execute_plan
+
+        def slow_execute_plan(engine, requests, **kwargs):
+            time.sleep(0.15)  # pin the single flusher thread
+            return real_execute_plan(engine, requests, **kwargs)
+
+        monkeypatch.setattr(query_service_module, "execute_plan", slow_execute_plan)
+        with QueryService(sharded, window_ms=1.0) as service:
+            blocker = service.submit_request(AknnRequest(queries[0], k=3, alpha=0.5))
+            time.sleep(0.02)  # let the flusher pick the blocker up
+            doomed = service.submit_request(
+                RangeRequest(queries[1], alpha=0.5, radius=2.0, deadline_ms=20.0)
+            )
+            blocker.result(timeout=30.0)
+            with pytest.raises(DeadlineExceededError, match="waiting in queue"):
+                doomed.result(timeout=30.0)
+            counters = service.metrics.as_dict()
+            assert counters[MetricsCollector.REQUESTS_WITHDRAWN_EXPIRED] >= 1
+            assert counters[MetricsCollector.DEADLINE_EXPIRED] >= 1
+
+
+# ---------------------------------------------------------------------------
+# stop() audit: no future may hang forever
+# ---------------------------------------------------------------------------
+class TestStopAudit:
+    @pytest.fixture(scope="class")
+    def sharded(self, objects):
+        db = ShardedDatabase.build(
+            list(objects), n_shards=2, placement="hash", config=chaos_config()
+        )
+        yield db
+        db.close()
+
+    def test_stop_with_drain_resolves_every_future(self, sharded, queries):
+        service = QueryService(sharded, window_ms=500.0).start()
+        futures = [
+            service.submit_request(AknnRequest(q, k=3, alpha=0.5)) for q in queries
+        ]
+        service.stop(drain=True)
+        for future in futures:
+            assert future.done()
+            assert future.result(timeout=0).object_ids
+
+    def test_stop_without_drain_fails_every_future(self, sharded, queries):
+        service = QueryService(sharded, window_ms=500.0).start()
+        futures = [
+            service.submit_request(AknnRequest(q, k=3, alpha=0.5)) for q in queries
+        ]
+        service.stop(drain=False)
+        for future in futures:
+            assert future.done()
+            with pytest.raises(ServiceStoppedError):
+                future.result(timeout=0)
+
+    def test_crashing_flush_fails_futures_instead_of_hanging(
+        self, sharded, queries, monkeypatch
+    ):
+        monkeypatch.setattr(
+            QueryService,
+            "_execute",
+            lambda self, bucket: (_ for _ in ()).throw(RuntimeError("flusher boom")),
+        )
+        service = QueryService(sharded, window_ms=1.0).start()
+        try:
+            future = service.submit_request(AknnRequest(queries[0], k=3, alpha=0.5))
+            with pytest.raises(RuntimeError, match="flusher boom"):
+                future.result(timeout=10.0)
+        finally:
+            service.stop(drain=False)
+
+    def test_futures_under_faults_still_all_complete(self, objects, queries):
+        sharded = ShardedDatabase.build(
+            list(objects), n_shards=3, placement="hash", config=chaos_config()
+        )
+        try:
+            sharded.fault_plan = FaultPlan.random(
+                np.random.default_rng(11), n_shards=3, n_rules=6
+            )
+            with QueryService(sharded, window_ms=1.0) as service:
+                futures = [
+                    service.submit_request(AknnRequest(q, k=3, alpha=0.5))
+                    for q in queries * 4
+                ]
+                for future in futures:
+                    result = future.result(timeout=60.0)
+                    assert result.coverage is None or result.coverage.answered
+        finally:
+            sharded.close()
+
+
+# ---------------------------------------------------------------------------
+# Delete-vs-query churn (the _owner_shard race regression)
+# ---------------------------------------------------------------------------
+class TestChurn:
+    def test_double_delete_reports_not_found(self, objects):
+        sharded = ShardedDatabase.build(
+            list(objects)[:12], n_shards=2, placement="hash", config=chaos_config()
+        )
+        try:
+            victim = sharded.object_ids()[0]
+            sharded.delete(victim)
+            with pytest.raises(ObjectNotFoundError):
+                sharded.delete(victim)
+            with pytest.raises(ObjectNotFoundError):
+                sharded.get_object(victim)
+        finally:
+            sharded.close()
+
+    def test_concurrent_deletes_never_leak_keyerror(self, objects, queries):
+        sharded = ShardedDatabase.build(
+            list(objects), n_shards=2, placement="hash", config=chaos_config()
+        )
+        errors = []
+        stop = threading.Event()
+
+        def query_loop():
+            while not stop.is_set():
+                try:
+                    sharded.execute(AknnRequest(queries[0], k=3, alpha=0.5))
+                    sharded.execute(ReverseRequest(queries[1], k=2, alpha=0.5))
+                except ObjectNotFoundError:
+                    pass  # acceptable: the object vanished mid-query
+                except Exception as error:  # anything else is the regression
+                    errors.append(error)
+                    return
+
+        threads = [threading.Thread(target=query_loop) for _ in range(3)]
+        try:
+            for thread in threads:
+                thread.start()
+            for object_id in sharded.object_ids()[:16]:
+                sharded.delete(object_id)
+                time.sleep(0.001)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            sharded.close()
+        assert not errors, f"churn leaked unexpected errors: {errors!r}"
+
+
+# ---------------------------------------------------------------------------
+# RetryingClient: the backpressure contract's reference consumer
+# ---------------------------------------------------------------------------
+class _ScriptedEngine:
+    """Fails with the scripted errors, then answers "ok" forever."""
+
+    def __init__(self, errors):
+        self.errors = list(errors)
+        self.calls = 0
+
+    def execute(self, request, **kwargs):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return "ok"
+
+    def execute_batch(self, requests, **kwargs):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return ["ok"] * len(requests)
+
+
+class TestRetryingClient:
+    def request(self, queries):
+        return AknnRequest(queries[0], k=2, alpha=0.5)
+
+    def test_honours_retry_after_hint(self, queries):
+        engine = _ScriptedEngine(
+            [
+                ServiceOverloadedError("shed", retry_after_ms=8.0),
+                ShardUnavailableError("cooling", retry_after_ms=4.0, shards=(1,)),
+            ]
+        )
+        sleeps = []
+        client = RetryingClient(
+            engine, max_retries=3, rand=lambda: 0.0, sleep=sleeps.append
+        )
+        assert client.execute(self.request(queries)) == "ok"
+        assert engine.calls == 3
+        # Slept exactly the hinted amount (zero jitter injected).
+        assert sleeps == pytest.approx([0.008, 0.004])
+        assert client.metrics.as_dict()[MetricsCollector.RETRIES] == 2
+
+    def test_jitter_is_applied_after_the_hint(self, queries):
+        engine = _ScriptedEngine(
+            [ServiceOverloadedError("shed", retry_after_ms=10.0)]
+        )
+        sleeps = []
+        client = RetryingClient(
+            engine, jitter=0.5, rand=lambda: 1.0, sleep=sleeps.append
+        )
+        assert client.execute(self.request(queries)) == "ok"
+        assert sleeps == pytest.approx([0.015])  # never earlier than the hint
+
+    def test_budget_exhaustion_chains_the_last_error(self, queries):
+        engine = _ScriptedEngine(
+            [ServiceOverloadedError("shed", retry_after_ms=1000.0)] * 10
+        )
+        client = RetryingClient(
+            engine, max_retries=5, budget_ms=50.0, sleep=lambda _: None
+        )
+        with pytest.raises(RetryBudgetExhaustedError) as excinfo:
+            client.execute(self.request(queries))
+        assert engine.calls == 1  # first hint alone blew the budget
+        assert excinfo.value.retry_after_ms == 1000.0
+        assert isinstance(excinfo.value.__cause__, ServiceOverloadedError)
+
+    def test_max_retries_bounds_attempts(self, queries):
+        engine = _ScriptedEngine(
+            [ServiceOverloadedError("shed", retry_after_ms=0.1)] * 10
+        )
+        client = RetryingClient(engine, max_retries=2, sleep=lambda _: None)
+        with pytest.raises(RetryBudgetExhaustedError):
+            client.execute(self.request(queries))
+        assert engine.calls == 3  # initial + 2 retries
+
+    def test_non_backpressure_errors_are_never_retried(self, queries):
+        engine = _ScriptedEngine([ValueError("malformed")])
+        client = RetryingClient(engine, sleep=lambda _: None)
+        with pytest.raises(ValueError):
+            client.execute(self.request(queries))
+        assert engine.calls == 1
+
+    def test_batch_resubmission_goes_whole_batch(self, queries):
+        engine = _ScriptedEngine(
+            [ServiceOverloadedError("shed", retry_after_ms=0.1)]
+        )
+        client = RetryingClient(engine, sleep=lambda _: None)
+        requests = [self.request(queries)] * 4
+        assert client.execute_batch(requests) == ["ok"] * 4
+        assert engine.calls == 2
+
+    def test_end_to_end_against_a_tiny_service(self, objects, queries):
+        sharded = ShardedDatabase.build(
+            list(objects)[:16], n_shards=2, placement="hash", config=chaos_config()
+        )
+        try:
+            with QueryService(sharded, window_ms=1.0, queue_depth=1) as service:
+                client = RetryingClient(service, max_retries=8, budget_ms=5000.0)
+                results = [
+                    client.execute(AknnRequest(q, k=2, alpha=0.5)) for q in queries
+                ]
+                assert all(r.object_ids for r in results)
+        finally:
+            sharded.close()
