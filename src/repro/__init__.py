@@ -39,6 +39,7 @@ from repro.exceptions import (
     SerializationError,
     ServiceOverloadedError,
     ServiceStoppedError,
+    StorageCorruptionError,
     StorageError,
 )
 from repro.fuzzy import (
@@ -83,9 +84,17 @@ from repro.core import (
     RangeSearchResult,
 )
 from repro.analysis import AccessCostModel
-from repro.service import QueryService, ServiceStats, ShardedDatabase
+from repro.service import (
+    DeliverySubscription,
+    QueryService,
+    ResultDelta,
+    ServiceStats,
+    ShardedDatabase,
+    SubscriptionEngine,
+)
+from repro.storage import Manifest, SnapshotManager, WriteAheadLog
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -99,6 +108,7 @@ __all__ = [
     "InvalidQueryError",
     "EmptyAlphaCutError",
     "StorageError",
+    "StorageCorruptionError",
     "ObjectNotFoundError",
     "SerializationError",
     "ServiceOverloadedError",
@@ -152,6 +162,14 @@ __all__ = [
     "ShardedDatabase",
     "QueryService",
     "ServiceStats",
+    # Durability
+    "WriteAheadLog",
+    "Manifest",
+    "SnapshotManager",
+    # Standing queries
+    "SubscriptionEngine",
+    "DeliverySubscription",
+    "ResultDelta",
     # Analysis
     "AccessCostModel",
 ]

@@ -27,7 +27,13 @@ runnable as ``python -m repro.cli``.  Subcommands:
     ``--mix`` interleaves request *types* (AKNN / reverse / range) in one
     workload — the coalescer buckets them by ``bucket_key()`` — and
     ``--update-ops`` mixes live inserts/deletes into the run to exercise the
-    epoch machinery.
+    epoch machinery.  ``--wal-dir`` makes the shards durable (per-shard
+    write-ahead logs + snapshots), ``--subscribers`` registers standing
+    queries that receive result deltas from the live updates.
+
+``recover``
+    Rebuild a durable database directory after a crash: last snapshot + WAL
+    tail replay + one STR bulk load per shard, then validate.
 
 ``experiment``
     Reproduce one of the paper's figures and print the corresponding tables.
@@ -234,6 +240,48 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--deadline-ms", type=float, default=None,
         help="per-request deadline budget in milliseconds (default: none)",
+    )
+    serve.add_argument(
+        "--wal-dir", default=None,
+        help=(
+            "enable durability: every live mutation is logged to a per-shard "
+            "write-ahead log under this directory before it is applied, and "
+            "shards snapshot independently ('fuzzy-knn recover' heals the "
+            "directory after a crash)"
+        ),
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=0,
+        help=(
+            "snapshot a shard and truncate its WAL every N logged mutations "
+            "(0: snapshot only on clean shutdown)"
+        ),
+    )
+    serve.add_argument(
+        "--subscribers", type=int, default=0,
+        help=(
+            "standing kNN queries registered up front; live updates push "
+            "result deltas to their streams and the run reports how many "
+            "deltas were produced"
+        ),
+    )
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="rebuild a durable database directory after a crash",
+        description=(
+            "Read the directory's manifest, load the last snapshot, replay "
+            "the WAL tail (idempotently — ids are never recycled), rebuild "
+            "the R-tree with one STR bulk-load pass per shard, and validate "
+            "the result.  Works on both single-node directories "
+            "(FuzzyDatabase.enable_durability) and sharded ones "
+            "(per-shard subdirectories; shards recover independently)."
+        ),
+    )
+    recover.add_argument("directory", help="durable database directory (holds MANIFEST.json)")
+    recover.add_argument(
+        "--stats", action="store_true",
+        help="dump every recovery counter",
     )
 
     experiment = subparsers.add_parser("experiment", help="reproduce one paper figure")
@@ -456,6 +504,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         coalesce_window_ms=args.window_ms,
         coalesce_max_batch=args.max_batch,
         service_queue_depth=args.queue_depth,
+        snapshot_every=args.snapshot_every,
         cache_capacity=4096,
     )
     database = ShardedDatabase.build(objects, config=config)
@@ -463,6 +512,14 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"serving {len(database)} objects over {database.n_shards} shards "
         f"({args.placement} placement, sizes {database.shard_sizes()})"
     )
+    if args.wal_dir:
+        database.enable_durability(args.wal_dir)
+        cadence = (
+            f"snapshot every {args.snapshot_every} appends"
+            if args.snapshot_every
+            else "snapshot on shutdown"
+        )
+        print(f"durability: per-shard WALs under {args.wal_dir} ({cadence})")
     if args.fault_plan:
         database.fault_plan = FaultPlan.parse(args.fault_plan)
         print(f"fault plan armed: {database.fault_plan!r}")
@@ -530,6 +587,13 @@ def _command_serve(args: argparse.Namespace) -> int:
             except (BackpressureError, DeadlineExceededError):
                 pass  # shed or expired warm-up; the measured phase still runs
 
+        subscriptions = [
+            service.subscribe(
+                AknnRequest(queries[index % len(queries)], k=args.k, alpha=args.alpha)
+            )
+            for index in range(args.subscribers)
+        ]
+
         per_client = max(1, args.n_requests // args.clients)
         threads = [
             threading.Thread(target=client, args=(index, per_client))
@@ -544,6 +608,18 @@ def _command_serve(args: argparse.Namespace) -> int:
             thread.join()
         elapsed = time.perf_counter() - t0
         stats = service.stats()
+        if subscriptions:
+            # seq counts every delta a subscription emitted (including the
+            # initial answer); shed streams stopped consuming mid-run.
+            deltas = sum(
+                sub.subscription.seq for sub in subscriptions
+                if sub.subscription is not None
+            )
+            shed_subs = sum(1 for sub in subscriptions if sub.shed)
+            print(
+                f"subscriptions: {len(subscriptions)} standing queries, "
+                f"{deltas} deltas pushed, {shed_subs} shed"
+            )
 
     attempted = per_client * args.clients
     served = sum(completed_per_client)
@@ -584,6 +660,36 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_recover(args: argparse.Namespace) -> int:
+    from repro.service import ShardedDatabase
+    from repro.storage import read_manifest
+
+    manifest = read_manifest(args.directory)
+    if manifest.kind == "sharded":
+        database = ShardedDatabase.recover(args.directory)
+        n_shards = database.n_shards
+    else:
+        database = FuzzyDatabase.recover(args.directory)
+        n_shards = 1
+    database.validate()
+    counters = database.metrics.as_dict()
+    print(
+        f"recovered {len(database)} objects "
+        f"({manifest.kind}, {n_shards} shard(s)) from {args.directory}"
+    )
+    print(
+        f"replay: {counters.get('wal_replayed', 0)} WAL records, "
+        f"{counters.get('wal_torn_tails', 0)} torn tails truncated, "
+        f"{counters.get('bulk_loads', 0)} STR bulk loads"
+    )
+    if args.stats:
+        print("counters:")
+        for name, value in sorted(counters.items()):
+            print(f"  {name}: {value}")
+    database.close()
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     config = scale_for_name(args.scale)
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
@@ -605,6 +711,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "reverse": _command_reverse,
         "batch": _command_batch,
         "serve": _command_serve,
+        "recover": _command_recover,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

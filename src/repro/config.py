@@ -57,6 +57,28 @@ DEFAULT_BREAKER_FAILURE_THRESHOLD = 3
 DEFAULT_BREAKER_RESET_TIMEOUT_MS = 1000.0
 DEFAULT_BREAKER_HALF_OPEN_PROBES = 1
 
+# Durability defaults (see repro.storage.wal / repro.storage.snapshot).
+# ``wal_sync`` picks the durability/throughput trade of every WAL append:
+# "none" leaves flushing to the OS, "flush" drains Python's userspace buffer
+# (survives process crash, not power loss), "fsync" additionally forces the
+# page cache to disk.  ``snapshot_every`` is the number of WAL appends after
+# which the snapshot manager folds the log into a fresh snapshot and
+# truncates it (0 disables automatic snapshots).
+DEFAULT_WAL_SYNC = "flush"
+DEFAULT_SNAPSHOT_EVERY = 0
+
+# Deferred-compaction default (see repro.index.bulk).  With durability
+# enabled, deletes prune lazily instead of reinserting orphans on the write
+# path; once ``lazy deletes / live entries`` exceeds this ratio the tree is
+# rebuilt with one STR bulk load.
+DEFAULT_COMPACTION_DEBT_RATIO = 0.3
+
+# Standing-query defaults (see repro.service.subscriptions).  The queue depth
+# bounds undelivered deltas per subscriber; a subscriber that falls further
+# behind is shed (subscription cancelled) rather than allowed to grow the
+# queue without limit.
+DEFAULT_SUBSCRIPTION_QUEUE_DEPTH = 256
+
 # The small epsilon used by the basic RKNN sweep (Algorithm 3) to step just
 # beyond a critical probability.  The exact sweep used in this implementation
 # steps to the next membership level instead, but the value is retained for
@@ -136,6 +158,19 @@ class RuntimeConfig:
     default_deadline_ms:
         Deadline budget applied to service requests that do not carry their
         own ``deadline_ms``.  ``None`` (the default) leaves them unbounded.
+    wal_sync:
+        WAL append durability: ``"none"`` (OS-buffered), ``"flush"``
+        (userspace buffer drained per append) or ``"fsync"`` (page cache
+        forced to disk per append).
+    snapshot_every:
+        WAL appends between automatic snapshots (``0`` disables them; the
+        WAL then grows until an explicit snapshot/close).
+    compaction_debt_ratio:
+        Fraction of lazily-deleted entries tolerated before the R-tree is
+        rebuilt via STR bulk load (durable databases only).
+    subscription_queue_depth:
+        Maximum undelivered deltas buffered per standing-query subscriber
+        before the subscriber is shed.
     """
 
     upper_bound_samples: int = DEFAULT_UPPER_BOUND_SAMPLES
@@ -159,6 +194,10 @@ class RuntimeConfig:
     breaker_reset_timeout_ms: float = DEFAULT_BREAKER_RESET_TIMEOUT_MS
     breaker_half_open_probes: int = DEFAULT_BREAKER_HALF_OPEN_PROBES
     default_deadline_ms: float | None = None
+    wal_sync: str = DEFAULT_WAL_SYNC
+    snapshot_every: int = DEFAULT_SNAPSHOT_EVERY
+    compaction_debt_ratio: float = DEFAULT_COMPACTION_DEBT_RATIO
+    subscription_queue_depth: int = DEFAULT_SUBSCRIPTION_QUEUE_DEPTH
     extra: dict = field(default_factory=dict)
 
     def validate(self) -> "RuntimeConfig":
@@ -203,6 +242,16 @@ class RuntimeConfig:
             raise ValueError("breaker_half_open_probes must be >= 1")
         if self.default_deadline_ms is not None and self.default_deadline_ms <= 0.0:
             raise ValueError("default_deadline_ms must be positive (or None)")
+        if self.wal_sync not in ("none", "flush", "fsync"):
+            raise ValueError(
+                f"wal_sync must be 'none', 'flush' or 'fsync', got {self.wal_sync!r}"
+            )
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0 (0 disables)")
+        if not 0.0 < self.compaction_debt_ratio <= 1.0:
+            raise ValueError("compaction_debt_ratio must be in (0, 1]")
+        if self.subscription_queue_depth < 1:
+            raise ValueError("subscription_queue_depth must be >= 1")
         return self
 
 

@@ -56,9 +56,13 @@ from repro.exceptions import ObjectNotFoundError, StorageError
 from repro.fuzzy.alpha_distance import DistanceProfileStore
 from repro.fuzzy.fuzzy_object import FuzzyObject
 from repro.fuzzy.summary import FuzzyObjectSummary, build_summary
+from repro.index.bulk import CompactionManager, bulk_load_tree
 from repro.index.rtree import RTree
 from repro.metrics.counters import MetricsCollector, SharedMetricsCollector
 from repro.storage.object_store import ObjectStore
+from repro.storage.serialization import decode_object, encode_object
+from repro.storage.snapshot import Manifest, SnapshotManager, read_manifest
+from repro.storage.wal import WriteAheadLog
 
 # File names used by save() / open().
 _DATA_FILE = "objects.dat"
@@ -100,6 +104,15 @@ class FuzzyDatabase:
         # Request-planner telemetry (plan_groups / plan_requests / the shared
         # batch counters), observable per database instance.
         self.metrics = SharedMetricsCollector()
+        # Durability machinery, attached by enable_durability()/recover().
+        self._wal: Optional[WriteAheadLog] = None
+        self._snapshots: Optional[SnapshotManager] = None
+        self._compaction: Optional[CompactionManager] = None
+        self._durable_dir: Optional[Path] = None
+        # Update listeners (e.g. the standing-query engine), notified after
+        # every applied mutation.
+        self._update_listeners: List = []
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -146,12 +159,11 @@ class FuzzyDatabase:
                 obj = obj.with_id(object_id)
             summaries[object_id] = build_summary(obj, rng=rng)
 
-        tree = RTree.bulk_load(
-            list(summaries.values()),
-            max_entries=config.rtree_max_entries,
-            min_fill=config.rtree_min_fill,
-        )
-        return cls(store, tree, summaries, config)
+        boot = SharedMetricsCollector()
+        tree = bulk_load_tree(summaries.values(), config=config, metrics=boot)
+        db = cls(store, tree, summaries, config)
+        db.metrics.merge(boot)
+        return db
 
     @classmethod
     def from_store(
@@ -169,12 +181,11 @@ class FuzzyDatabase:
         summaries: Dict[int, FuzzyObjectSummary] = {}
         for obj in store.iter_objects(count_accesses=False):
             summaries[int(obj.object_id)] = build_summary(obj, rng=rng)
-        tree = RTree.bulk_load(
-            list(summaries.values()),
-            max_entries=config.rtree_max_entries,
-            min_fill=config.rtree_min_fill,
-        )
-        return cls(store, tree, summaries, config)
+        boot = SharedMetricsCollector()
+        tree = bulk_load_tree(summaries.values(), config=config, metrics=boot)
+        db = cls(store, tree, summaries, config)
+        db.metrics.merge(boot)
+        return db
 
     # ------------------------------------------------------------------
     # The query surface (QueryEngine protocol)
@@ -458,6 +469,30 @@ class FuzzyDatabase:
     # ------------------------------------------------------------------
     # Live updates
     # ------------------------------------------------------------------
+    def add_update_listener(self, listener) -> None:
+        """Register ``listener`` for post-apply mutation notifications.
+
+        The listener must expose ``notify_insert(obj)`` and
+        ``notify_delete(object_id)`` (see
+        :class:`~repro.service.subscriptions.SubscriptionEngine`); both are
+        called synchronously after the mutation is fully applied.
+        """
+        self._update_listeners.append(listener)
+
+    def remove_update_listener(self, listener) -> None:
+        try:
+            self._update_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_insert(self, obj: FuzzyObject) -> None:
+        for listener in list(self._update_listeners):
+            listener.notify_insert(obj)
+
+    def _notify_delete(self, object_id: int) -> None:
+        for listener in list(self._update_listeners):
+            listener.notify_delete(object_id)
+
     def insert(
         self,
         obj: FuzzyObject,
@@ -472,30 +507,66 @@ class FuzzyDatabase:
         tree's mutation counter and incremental SoA maintenance.  Geometry is
         revalidated first (non-finite points would poison MBRs and distance
         evaluations) before any store or index state is touched.
+
+        With durability enabled the mutation is logged *before* it is
+        applied (write-ahead ordering): the id is pre-assigned from the
+        store's watermark, the encoded object goes into the WAL, and only
+        then does the store append.  A crash at any point in between is
+        covered — replay re-applies the logged record, and ids never recycle
+        so replaying an already-applied record is a no-op.
         """
-        object_id = self.store.put(obj.require_finite())
+        obj = obj.require_finite()
+        if self._wal is not None:
+            if obj.object_id is None:
+                obj = obj.with_id(self.store.id_watermark)
+            self._wal.append_insert(int(obj.object_id), encode_object(obj))
+        object_id = self.store.put(obj)
         if obj.object_id is None:
             obj = obj.with_id(object_id)
         summary = build_summary(obj, rng=rng)
         self.summaries[object_id] = summary
         self.tree.insert(summary)
+        if self._snapshots is not None:
+            self._snapshots.record_append()
+        self._notify_insert(obj)
         return object_id
 
     def delete(self, object_id: int) -> None:
         """Remove one object from the running database.
 
-        The R-tree entry is deleted (condense-tree with orphan reinsertion),
-        the summary dropped, and the store slot released.  Deleted ids are
-        never reassigned, so per-id caches cannot alias a later insert.
+        Without durability the R-tree entry is deleted with Guttman's
+        condense-tree (orphan reinsertion on the write path).  A durable
+        database logs the delete first, then takes the deferred path:
+        :meth:`~repro.index.rtree.RTree.delete_lazy` removes the entry and
+        prunes empty nodes only, and the accumulated fill debt is repaid by
+        an STR repack once :class:`~repro.index.bulk.CompactionManager`
+        says it is due.  Deleted ids are never reassigned, so per-id caches
+        cannot alias a later insert.
         """
         object_id = int(object_id)
+        if object_id not in self.summaries:
+            raise ObjectNotFoundError(f"object {object_id} is not in the database")
+        if self._wal is not None:
+            self._wal.append_delete(object_id)
         # pop() wins exactly once under concurrent deletes of the same id;
         # the loser reports the consistent not-found instead of a KeyError.
         summary = self.summaries.pop(object_id, None)
         if summary is None:
             raise ObjectNotFoundError(f"object {object_id} is not in the database")
-        self.tree.delete(object_id, mbr=summary.support_mbr)
+        if self._compaction is not None:
+            self.tree.delete_lazy(object_id, mbr=summary.support_mbr)
+            self._compaction.note_lazy_delete()
+            rebuilt = self._compaction.maybe_compact(
+                self.tree, self.summaries.values(), self.config
+            )
+            if rebuilt is not None:
+                self.tree.adopt(rebuilt)
+        else:
+            self.tree.delete(object_id, mbr=summary.support_mbr)
         self.store.delete(object_id)
+        if self._snapshots is not None:
+            self._snapshots.record_append()
+        self._notify_delete(object_id)
 
     def linear_scan(self) -> LinearScanSearcher:
         """The exhaustive baseline searcher (ground truth for tests)."""
@@ -534,7 +605,14 @@ class FuzzyDatabase:
             )
 
     def close(self) -> None:
-        """Close the backing data file."""
+        """Close the database; a durable one takes a final snapshot first."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._snapshots is not None:
+            self._snapshots.snapshot()
+        if self._wal is not None:
+            self._wal.close()
         self.store.close()
 
     def __enter__(self) -> "FuzzyDatabase":
@@ -549,12 +627,24 @@ class FuzzyDatabase:
     def save(self, path: os.PathLike | str) -> Path:
         """Write the catalogue (summaries + slot table) next to the data file.
 
-        The database must have been built with an on-disk ``path``; the data
-        file itself is already on disk, so only the catalogue is written.
-        Returns the catalogue path.
+        The catalogue is published atomically (tmp file + ``os.replace``):
+        a crash mid-save leaves the previous good catalogue intact instead
+        of a half-written one.  A database whose store is in memory (or
+        backed elsewhere) first materialises its records into
+        ``objects.dat`` inside ``path`` — also atomically — so the saved
+        directory is always self-contained.  Returns the catalogue path.
         """
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
+        data_path = directory / _DATA_FILE
+        store_path = self.store.path
+        if store_path is not None and Path(store_path).resolve() == data_path.resolve():
+            # The data file already lives here; make its appends durable
+            # before the catalogue starts referencing their offsets.
+            self.store.flush()
+            slots = self.store.slot_table()
+        else:
+            slots = self.store.dump(data_path)
         catalog = {
             "version": _CATALOG_VERSION,
             "config": {
@@ -563,27 +653,30 @@ class FuzzyDatabase:
                 "upper_bound_samples": self.config.upper_bound_samples,
                 "cache_capacity": self.config.cache_capacity,
             },
-            "slots": {
-                str(oid): list(slot) for oid, slot in self.store.slot_table().items()
-            },
+            "slots": {str(oid): list(slot) for oid, slot in slots.items()},
             "id_watermark": self.store.id_watermark,
             "summaries": [summary.to_dict() for summary in self.summaries.values()],
         }
         catalog_path = directory / _CATALOG_FILE
-        with open(catalog_path, "w", encoding="utf-8") as handle:
+        tmp_path = directory / (_CATALOG_FILE + ".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(catalog, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, catalog_path)
         return catalog_path
 
     @classmethod
-    def open(
+    def _load_snapshot(
         cls,
-        path: os.PathLike | str,
-        config: Optional[RuntimeConfig] = None,
-    ) -> "FuzzyDatabase":
-        """Re-open a database previously written by :meth:`save`."""
-        directory = Path(path)
-        catalog_path = directory / _CATALOG_FILE
-        data_path = directory / _DATA_FILE
+        directory: Path,
+        config: Optional[RuntimeConfig],
+        data_file: str = _DATA_FILE,
+        catalog_file: str = _CATALOG_FILE,
+    ) -> Tuple[ObjectStore, Dict[int, FuzzyObjectSummary], RuntimeConfig]:
+        """Load the persisted store + summaries without building the tree."""
+        catalog_path = directory / catalog_file
+        data_path = directory / data_file
         if not catalog_path.exists() or not data_path.exists():
             raise StorageError(f"no saved database found under {directory}")
         with open(catalog_path, "r", encoding="utf-8") as handle:
@@ -616,9 +709,149 @@ class FuzzyDatabase:
             int(payload["object_id"]): FuzzyObjectSummary.from_dict(payload)
             for payload in catalog["summaries"]
         }
-        tree = RTree.bulk_load(
-            list(summaries.values()),
-            max_entries=config.rtree_max_entries,
-            min_fill=config.rtree_min_fill,
+        return store, summaries, config
+
+    @classmethod
+    def open(
+        cls,
+        path: os.PathLike | str,
+        config: Optional[RuntimeConfig] = None,
+    ) -> "FuzzyDatabase":
+        """Re-open a database previously written by :meth:`save`.
+
+        The R-tree is rebuilt with one counted STR bulk-load pass (see
+        :func:`repro.index.bulk.bulk_load_tree`), never one insert at a
+        time.
+        """
+        directory = Path(path)
+        store, summaries, config = cls._load_snapshot(directory, config)
+        boot = SharedMetricsCollector()
+        tree = bulk_load_tree(summaries.values(), config=config, metrics=boot)
+        db = cls(store, tree, summaries, config)
+        db.metrics.merge(boot)
+        return db
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @property
+    def durable(self) -> bool:
+        """Whether a write-ahead log is attached."""
+        return self._wal is not None
+
+    @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        return self._wal
+
+    @property
+    def snapshots(self) -> Optional[SnapshotManager]:
+        return self._snapshots
+
+    def enable_durability(
+        self,
+        directory: os.PathLike | str,
+        *,
+        fault_hook=None,
+        snapshot: bool = True,
+    ) -> "FuzzyDatabase":
+        """Attach a WAL + snapshot cycle rooted at ``directory``.
+
+        Takes an initial snapshot (catalogue + data file + manifest) so the
+        directory is recoverable from the first logged mutation on, then
+        logs every subsequent insert/delete ahead of applying it.  Deletes
+        switch to the deferred-compaction path (lazy R-tree removal, STR
+        repack when the debt ratio crosses
+        ``config.compaction_debt_ratio``).  ``fault_hook`` is invoked before
+        every WAL append (chaos testing; see
+        :mod:`repro.service.faults`).
+
+        This is for a *live, consistent* database; to attach to a directory
+        left behind by a crash, use :meth:`recover` — calling this directly
+        would truncate an unreplayed WAL tail.
+        """
+        if self._wal is not None:
+            raise StorageError("durability is already enabled")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self._durable_dir = directory
+        self._wal = WriteAheadLog(
+            directory / "wal.log",
+            sync=self.config.wal_sync,
+            metrics=self.metrics,
+            fault_hook=fault_hook,
         )
-        return cls(store, tree, summaries, config)
+        self._compaction = CompactionManager(
+            debt_ratio=self.config.compaction_debt_ratio, metrics=self.metrics
+        )
+        self._snapshots = SnapshotManager(
+            directory=directory,
+            wal=self._wal,
+            save=lambda: self.save(directory),
+            every=self.config.snapshot_every,
+            manifest=Manifest(kind="single"),
+            metrics=self.metrics,
+        )
+        if snapshot:
+            self._snapshots.snapshot()
+        return self
+
+    @classmethod
+    def recover(
+        cls,
+        path: os.PathLike | str,
+        config: Optional[RuntimeConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        resume: bool = True,
+        fault_hook=None,
+    ) -> "FuzzyDatabase":
+        """Recover a durable database directory after a crash.
+
+        Loads the last published snapshot, replays the WAL tail on top of
+        it (repairing a torn final record in place), and packs the R-tree
+        with one STR bulk load — the RECOVERIES / WAL_REPLAYED / BULK_LOADS
+        counters record exactly that.  Replay is idempotent because ids are
+        never recycled: records the snapshot already covers are skipped.
+
+        With ``resume=True`` (default) durability is re-enabled on the same
+        directory and a fresh snapshot folds the replayed tail in, so the
+        recovered database continues exactly where the crashed one left
+        off.
+        """
+        directory = Path(path)
+        manifest = read_manifest(directory)
+        if manifest.kind != "single":
+            raise StorageError(
+                f"{directory} holds a {manifest.kind!r} database — recover it "
+                "through ShardedDatabase.recover()"
+            )
+        store, summaries, config = cls._load_snapshot(
+            directory, config, manifest.data_file, manifest.catalog_file
+        )
+        boot = SharedMetricsCollector()
+        wal = WriteAheadLog(
+            directory / manifest.wal_file, sync=config.wal_sync, metrics=boot
+        )
+        replayed = 0
+        for record in wal.replay():
+            if record.is_insert:
+                if record.object_id in store:
+                    continue
+                obj = decode_object(record.blob)
+                store.put(obj)
+                summaries[record.object_id] = build_summary(obj, rng=rng)
+            else:
+                if record.object_id not in store:
+                    continue
+                summaries.pop(record.object_id, None)
+                store.delete(record.object_id)
+            replayed += 1
+        wal.close()
+        tree = bulk_load_tree(summaries.values(), config=config, metrics=boot)
+        db = cls(store, tree, summaries, config)
+        boot.increment(MetricsCollector.WAL_REPLAYED, replayed)
+        boot.increment(MetricsCollector.RECOVERIES)
+        db.metrics.merge(boot)
+        if resume:
+            db.enable_durability(directory, fault_hook=fault_hook)
+        return db

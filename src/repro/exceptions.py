@@ -44,6 +44,25 @@ class ObjectNotFoundError(StorageError):
     """Raised when an object id is not present in the object store."""
 
 
+class StorageCorruptionError(StorageError):
+    """Raised when an on-disk file is damaged beyond what recovery tolerates.
+
+    Recovery distinguishes two damage classes.  A *corrupt tail* — the
+    expected artifact of a crash mid-append — is handled in place: the WAL
+    replay truncates at the last intact record and continues.  A *bad file*
+    (wrong magic, a record body that fails its checksum inside the committed
+    prefix, a data file shorter than its slot table) cannot be repaired by
+    truncation and surfaces as this error, carrying the ``path`` and byte
+    ``offset`` of the damage so operators see exactly where the file broke
+    instead of a raw ``struct``/codec traceback.
+    """
+
+    def __init__(self, message: str, path=None, offset=None):
+        super().__init__(message)
+        self.path = None if path is None else str(path)
+        self.offset = None if offset is None else int(offset)
+
+
 class SerializationError(StorageError):
     """Raised when a fuzzy object cannot be encoded or decoded."""
 

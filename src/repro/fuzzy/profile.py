@@ -136,15 +136,21 @@ class DistanceProfile:
         """
         if self.value(start) >= threshold:
             return None
-        best = self.next_critical(start)
-        idx = int(np.searchsorted(self.levels, best - _LEVEL_ATOL, side="left"))
-        result = float(best)
-        for j in range(idx + 1, self.levels.size):
+        # Scan the stored levels directly instead of hopping to
+        # next_critical(start) first: the critical set's increase tolerance
+        # can classify a genuine (tiny) distance increase as "constant", and
+        # the hop would then land on a level whose distance already meets the
+        # threshold — returning an unsafe range.  The scan only ever extends
+        # through levels whose distance is verifiably below the threshold.
+        idx = int(np.searchsorted(self.levels, start - _LEVEL_ATOL, side="left"))
+        idx = min(idx, self.levels.size - 1)
+        result = float(start)
+        for j in range(idx, self.levels.size):
             if self.distances[j] < threshold:
                 result = float(self.levels[j])
             else:
                 break
-        return result
+        return max(result, float(start))
 
     # ------------------------------------------------------------------
     # Introspection

@@ -9,10 +9,20 @@ point sets stay in the object store.
 * :mod:`~repro.index.node` — tree nodes.
 * :class:`~repro.index.rtree.RTree` — insertion with quadratic split, STR
   bulk loading, rectangle range search and validation.
+* :mod:`~repro.index.bulk` — the counted STR bulk-load entry point used by
+  recovery/cold opens and the lazy-delete compaction manager.
 """
 
+from repro.index.bulk import CompactionManager, bulk_load_tree
 from repro.index.entry import LeafEntry, InternalEntry
 from repro.index.node import RTreeNode
 from repro.index.rtree import RTree
 
-__all__ = ["LeafEntry", "InternalEntry", "RTreeNode", "RTree"]
+__all__ = [
+    "LeafEntry",
+    "InternalEntry",
+    "RTreeNode",
+    "RTree",
+    "bulk_load_tree",
+    "CompactionManager",
+]

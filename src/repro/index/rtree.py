@@ -257,6 +257,41 @@ class RTree:
         if not self.root.is_leaf and not self.root.entries:
             self.root = RTreeNode(level=0)
 
+    def delete_lazy(self, object_id: int, mbr: Optional[MBR] = None) -> None:
+        """Remove the data entry for ``object_id`` without condensing.
+
+        The deferred-compaction write path (:mod:`repro.index.bulk`): the
+        entry is removed, ancestor MBRs are tightened, and nodes left *empty*
+        are pruned upward — but underfull nodes are tolerated instead of
+        being dissolved and reinserted.  This keeps the per-delete cost at
+        one root-to-leaf walk; the accumulated fill debt is repaid in one STR
+        rebuild when :class:`~repro.index.bulk.CompactionManager` decides the
+        debt ratio crossed its threshold.  All :meth:`validate` invariants
+        are preserved (validation rejects *empty* non-root nodes, never
+        underfull ones).
+        """
+        path = self._find_leaf(self.root, int(object_id), mbr)
+        if path is None:
+            raise IndexError_(f"object {object_id} is not indexed")
+        leaf = path[-1]
+        entry = next(e for e in leaf.entries if e.object_id == object_id)
+        leaf.remove_entry(entry)
+        self._size -= 1
+        self.mutations += 1
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            parent_entry = next(e for e in parent.entries if e.child is node)
+            if not node.entries:
+                parent.remove_entry(parent_entry)
+            else:
+                parent_entry.refresh_mbr()
+                parent.refresh_child_mbr(parent_entry)
+        while not self.root.is_leaf and len(self.root.entries) == 1:
+            self.root = self.root.entries[0].child
+        if not self.root.is_leaf and not self.root.entries:
+            self.root = RTreeNode(level=0)
+
     def _find_leaf(
         self, node: RTreeNode, object_id: int, mbr: Optional[MBR]
     ) -> Optional[List[RTreeNode]]:
@@ -316,6 +351,17 @@ class RTree:
             self.root = new_root
             return
         self._insert_entry(entry, target_level)
+
+    def adopt(self, other: "RTree") -> None:
+        """Take over ``other``'s nodes in place.
+
+        Deferred compaction repacks into a fresh tree and grafts it here so
+        every searcher holding a reference to *this* tree sees the rebuilt
+        structure; the mutation counter bump invalidates derived caches.
+        """
+        self.root = other.root
+        self._size = other._size
+        self.mutations += 1
 
     # ------------------------------------------------------------------
     # Search primitives

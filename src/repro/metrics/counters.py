@@ -61,6 +61,31 @@ class MetricsCollector:
     PARTIAL_RESULTS = "partial_results"
     DEADLINE_EXPIRED = "deadline_expired"
     REQUESTS_WITHDRAWN_EXPIRED = "requests_withdrawn_expired"
+    # Durability accounting (storage/wal.py, storage/snapshot.py,
+    # index/bulk.py): WAL records appended / replayed on recovery, corrupt
+    # tails truncated, snapshots published, STR bulk loads performed (cold
+    # opens and recoveries must take this path — tests assert it), full
+    # crash recoveries completed, and deferred-compaction rebuilds.
+    WAL_APPENDS = "wal_appends"
+    WAL_REPLAYED = "wal_replayed"
+    WAL_TRUNCATIONS = "wal_truncations"
+    WAL_TORN_TAILS = "wal_torn_tails"
+    SNAPSHOTS = "snapshots"
+    BULK_LOADS = "bulk_loads"
+    RECOVERIES = "recoveries"
+    COMPACTIONS = "compactions"
+    LAZY_DELETES = "lazy_deletes"
+    # Standing-query accounting (service/subscriptions.py): registered
+    # subscriptions, deltas pushed, inserts screened out by the vectorized
+    # bound check (no exact distance paid), exact evaluations paid on
+    # surviving inserts, targeted re-queries triggered by member deletes,
+    # and subscribers shed for falling behind their delivery queue.
+    SUBSCRIPTIONS = "subscriptions"
+    SUB_DELTAS = "sub_deltas"
+    SUB_SCREENED_OUT = "sub_screened_out"
+    SUB_EVALUATIONS = "sub_evaluations"
+    SUB_REQUERIES = "sub_requeries"
+    SUBSCRIBERS_SHED = "subscribers_shed"
 
     def __init__(self) -> None:
         self._counts: Dict[str, int] = defaultdict(int)

@@ -13,6 +13,8 @@ This package layers a serving architecture on top of the query engine:
   circuit breakers (the failure-semantics building blocks);
 * :mod:`repro.service.faults` — the injectable fault plans behind the chaos
   suite and ``serve --fault-plan``;
+* :mod:`repro.service.subscriptions` — :class:`SubscriptionEngine`, standing
+  AKNN/range queries maintained incrementally and pushed as result deltas;
 * :mod:`repro.service.client` — :class:`RetryingClient`, the reference
   consumer of the retry-after backpressure contract.
 
@@ -44,11 +46,21 @@ from repro.service.policy import (
 )
 from repro.service.query_service import QueryService, ServiceStats
 from repro.service.sharded import ShardedDatabase
+from repro.service.subscriptions import (
+    DeliverySubscription,
+    ResultDelta,
+    Subscription,
+    SubscriptionEngine,
+)
 
 __all__ = [
     "ShardedDatabase",
     "QueryService",
     "ServiceStats",
+    "SubscriptionEngine",
+    "Subscription",
+    "DeliverySubscription",
+    "ResultDelta",
     "HashPlacement",
     "SpacePlacement",
     "make_placement",

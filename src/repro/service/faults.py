@@ -16,8 +16,8 @@ Spec strings (CLI / smoke-script friendly) are ``;``-separated rules of
     kind=raise,count=1                      # first call to any shard fails
 
 ``op`` names the fan-out operation (``aknn``, ``aknn_batch``, ``range``,
-``reverse_gather``, ``reverse_filter``, ``reverse_verify``; omit to match
-all).  ``after`` skips the first N matching calls, ``count`` bounds how many
+``reverse_gather``, ``reverse_filter``, ``reverse_verify``, ``wal_append``;
+omit to match all).  ``after`` skips the first N matching calls, ``count`` bounds how many
 times the rule fires (omit for "forever").  ``kind=hang`` sleeps
 ``hang_ms`` (default 30 s) to emulate a stuck worker — pair it with request
 deadlines.  :meth:`FaultPlan.random` builds a seeded randomized plan for the
@@ -33,7 +33,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.exceptions import FaultInjectedError, InvalidQueryError
 
-#: Operation names the sharded fan-out reports to the plan.
+#: Operation names the sharded fan-out reports to the plan.  ``wal_append``
+#: is invoked by a durable shard immediately before each WAL write, so a
+#: matching ``raise`` rule emulates a crash mid-append (the torn-tail case
+#: the recovery tests exercise).
 FAULT_OPERATIONS = (
     "aknn",
     "aknn_batch",
@@ -41,6 +44,7 @@ FAULT_OPERATIONS = (
     "reverse_gather",
     "reverse_filter",
     "reverse_verify",
+    "wal_append",
 )
 
 _KINDS = ("raise", "delay", "hang")

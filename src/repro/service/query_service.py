@@ -37,6 +37,12 @@ The service works over a :class:`~repro.service.sharded.ShardedDatabase`
 :class:`~repro.core.database.FuzzyDatabase`; live ``insert``/``delete``
 passes straight through to the underlying database, whose shard write locks
 keep in-flight flushes consistent.
+
+Standing queries ride the same mutation path: :meth:`QueryService.subscribe`
+registers an ``AknnRequest`` or ``RangeRequest`` with the shared
+:class:`~repro.service.subscriptions.SubscriptionEngine` and returns a
+buffered delta stream; consumers that stop pulling are shed at
+``subscription_queue_depth`` instead of stalling writers.
 """
 
 from __future__ import annotations
@@ -63,12 +69,14 @@ from repro.core.results import AKNNResult
 from repro.core.reverse_nn import ReverseKNNResult
 from repro.exceptions import (
     DeadlineExceededError,
+    InvalidQueryError,
     ServiceOverloadedError,
     ServiceStoppedError,
 )
 from repro.fuzzy.fuzzy_object import FuzzyObject
 from repro.metrics.counters import MetricsCollector, SharedMetricsCollector
 from repro.service.policy import Deadline
+from repro.service.subscriptions import DeliverySubscription, SubscriptionEngine
 
 # Buckets are keyed by QueryRequest.bucket_key(): a hashable tuple carrying
 # the request type tag and its full sharing-relevant parameterisation.
@@ -186,6 +194,7 @@ class QueryService:
     ):
         config = getattr(database, "config", None) or RuntimeConfig()
         self.database = database
+        self._config = config
         self.window_seconds = (
             config.coalesce_window_ms if window_ms is None else float(window_ms)
         ) / 1000.0
@@ -217,6 +226,12 @@ class QueryService:
         self._batches = 0
         self._coalesced = 0
         self._max_batch_seen = 0
+        # Standing queries: one shared SubscriptionEngine (registered as the
+        # database's update listener on first use) plus the per-consumer
+        # delivery queues, tracked for shedding and shutdown.
+        self._sub_lock = threading.Lock()
+        self._subscriptions: Optional[SubscriptionEngine] = None
+        self._deliveries: Dict[int, DeliverySubscription] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -269,6 +284,21 @@ class QueryService:
             self._pending = 0
         for pending in leftovers:
             pending.fail(ServiceStoppedError("query service stopped before flush"))
+        # Close every standing query so no consumer blocks on a dead stream,
+        # and detach the engine so a stopped service stops paying for
+        # subscription maintenance on later mutations.
+        with self._sub_lock:
+            deliveries = list(self._deliveries.values())
+            self._deliveries.clear()
+            engine, self._subscriptions = self._subscriptions, None
+        for delivery in deliveries:
+            if engine is not None and delivery.subscription is not None:
+                engine.unsubscribe(delivery.subscription)
+            delivery.close()
+        if engine is not None:
+            detach = getattr(self.database, "remove_update_listener", None)
+            if detach is not None:
+                detach(engine)
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -489,6 +519,74 @@ class QueryService:
         """Delete from the underlying database (shard write locks apply)."""
         self.database.delete(object_id)
         self.metrics.increment(MetricsCollector.LIVE_DELETES)
+
+    # ------------------------------------------------------------------
+    # Standing queries
+    # ------------------------------------------------------------------
+    def _subscription_engine(self) -> SubscriptionEngine:
+        """The shared engine, registered as a DB update listener on first use."""
+        with self._sub_lock:
+            if self._subscriptions is None:
+                register = getattr(self.database, "add_update_listener", None)
+                if register is None:
+                    raise InvalidQueryError(
+                        "the underlying engine does not expose update "
+                        "listeners; standing queries need a FuzzyDatabase or "
+                        "ShardedDatabase"
+                    )
+                engine = SubscriptionEngine(
+                    self.database, config=self._config, metrics=self.metrics
+                )
+                register(engine)
+                self._subscriptions = engine
+            return self._subscriptions
+
+    def subscribe(
+        self, request: QueryRequest, depth: Optional[int] = None
+    ) -> DeliverySubscription:
+        """Register a standing query; returns its buffered delta stream.
+
+        The first delta is the request's full current answer; every
+        subsequent mutation that changes the answer queues an incremental
+        delta.  A consumer that lets ``depth`` deltas pile up (default
+        ``subscription_queue_depth``) is shed: its stream closes with
+        ``shed=True`` and the subscription is torn down, so one stuck
+        consumer cannot stall mutations or grow memory without bound.
+        """
+        engine = self._subscription_engine()
+        delivery = DeliverySubscription(
+            self._config.subscription_queue_depth if depth is None else int(depth)
+        )
+        delivery._on_overflow = lambda: self._shed_subscriber(delivery)
+        delivery.subscription = engine.subscribe(request, listener=delivery.deliver)
+        with self._sub_lock:
+            self._deliveries[delivery.id] = delivery
+        return delivery
+
+    def unsubscribe(self, delivery: DeliverySubscription) -> None:
+        """Tear one standing query down and close its delta stream."""
+        self._drop_subscription(delivery)
+        delivery.close()
+
+    def _shed_subscriber(self, delivery: DeliverySubscription) -> None:
+        """Overflow callback: count the shed and tear the subscription down."""
+        self.metrics.increment(MetricsCollector.SUBSCRIBERS_SHED)
+        self._drop_subscription(delivery)
+
+    def _drop_subscription(self, delivery: DeliverySubscription) -> None:
+        sub = delivery.subscription
+        with self._sub_lock:
+            engine = self._subscriptions
+            if sub is not None:
+                self._deliveries.pop(sub.id, None)
+        if engine is not None and sub is not None:
+            engine.unsubscribe(sub)
+
+    @property
+    def subscriptions(self) -> int:
+        """Number of live standing queries."""
+        with self._sub_lock:
+            return len(self._deliveries)
 
     # ------------------------------------------------------------------
     # Telemetry

@@ -24,14 +24,23 @@ Live updates (:meth:`insert` / :meth:`delete`) route through the placement
 policy to the owning shard and take that shard's write lock, so in-flight
 queries never observe a half-applied R-tree mutation; each mutation advances
 the database epoch.  Object ids are globally unique and never recycled.
+
+With :meth:`ShardedDatabase.enable_durability` each shard additionally logs
+its mutations to its own WAL inside a per-shard subdirectory and snapshots
+independently; :meth:`ShardedDatabase.recover` heals a crashed directory
+shard by shard (snapshot + WAL tail replay + STR bulk load).  Registered
+update listeners (:meth:`add_update_listener` — the subscription engine)
+are notified after each mutation commits and its shard lock is released.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack
+from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
@@ -85,6 +94,7 @@ from repro.service.faults import FaultPlan
 from repro.service.placement import make_placement
 from repro.service.policy import CircuitBreaker, RetryPolicy
 from repro.storage.object_store import StoreStatistics
+from repro.storage.snapshot import Manifest, read_manifest, write_manifest
 
 try:  # scipy is a hard dependency; keep the import failure readable.
     from scipy.spatial import cKDTree
@@ -159,6 +169,8 @@ class ShardedDatabase:
         # disabled.
         self.retry_policy = RetryPolicy.from_config(self.config)
         self.fault_plan: Optional[FaultPlan] = None
+        self._durable_dir: Optional[Path] = None
+        self._update_listeners: List = []
         self._admin_lock = threading.Lock()
         self._next_id = max(self._owners, default=-1) + 1
         self._epoch = EpochCounter()
@@ -228,6 +240,154 @@ class ShardedDatabase:
             for shard_objects in per_shard
         ]
         return cls(shards, policy, owners, config=config)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _shard_dir(directory: Path, index: int) -> Path:
+        return directory / f"shard-{index:04d}"
+
+    @property
+    def durable(self) -> bool:
+        """Whether every shard logs its mutations to a per-shard WAL."""
+        return self._durable_dir is not None
+
+    def _wal_fault_hook(self, shard_index: int) -> Callable[[], None]:
+        """A WAL-append injection point wired to the *current* fault plan.
+
+        The closure re-reads ``self.fault_plan`` on every call, so chaos
+        tests can install or swap a plan after durability was enabled —
+        exactly like the query fan-out hook.
+        """
+
+        def hook() -> None:
+            plan = self.fault_plan
+            if plan is not None:
+                plan.invoke(shard_index, "wal_append")
+
+        return hook
+
+    def _write_toplevel_manifest(self, directory: Path) -> None:
+        write_manifest(
+            directory,
+            Manifest(
+                kind="sharded",
+                n_shards=len(self._shards),
+                extra={"placement": getattr(self.placement, "name", "hash")},
+            ),
+        )
+
+    def enable_durability(self, directory: os.PathLike | str) -> "ShardedDatabase":
+        """Attach per-shard WAL + snapshot cycles rooted at ``directory``.
+
+        Each shard gets its own subdirectory (``shard-0000/`` ...) holding a
+        self-contained snapshot plus WAL, so shards fail — and recover —
+        independently; a top-level manifest records the shard count and the
+        placement policy for :meth:`recover`.  WAL appends run while the
+        owning shard's write lock is held, so log order matches apply order
+        per shard; cross-shard ordering is irrelevant because every object
+        lives in exactly one shard and ids are never recycled.
+        """
+        if self._durable_dir is not None:
+            raise StorageError("durability already enabled for this database")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for shard in self._shards:
+            sub = self._shard_dir(directory, shard.index)
+            sub.mkdir(parents=True, exist_ok=True)
+            with shard.lock.write():
+                shard.db.enable_durability(
+                    sub, fault_hook=self._wal_fault_hook(shard.index)
+                )
+        self._write_toplevel_manifest(directory)
+        self._durable_dir = directory
+        return self
+
+    @classmethod
+    def recover(
+        cls,
+        path: os.PathLike | str,
+        config: Optional[RuntimeConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        resume: bool = True,
+    ) -> "ShardedDatabase":
+        """Rebuild a sharded database from its durable directory after a crash.
+
+        Every shard recovers independently (snapshot + WAL tail replay + one
+        STR bulk load), so a crash that tore only some shards' logs heals
+        exactly those shards; the owner map is rebuilt from actual shard
+        membership and the id watermark from the recovered stores, so no
+        recycled id can ever collide with a logged one.  The placement
+        policy is rebuilt from the manifest (``space`` boundaries are refit
+        to the recovered centres — that only affects where *future* inserts
+        land, never query correctness, since queries fan out everywhere and
+        deletes route via the owner map).
+        """
+        directory = Path(path)
+        manifest = read_manifest(directory)
+        if manifest.kind != "sharded":
+            raise StorageError(
+                f"manifest at {directory} describes a {manifest.kind!r} database; "
+                f"use FuzzyDatabase.recover() for single-node directories"
+            )
+        config = (config or RuntimeConfig()).validate()
+        shard_dbs = [
+            FuzzyDatabase.recover(
+                cls._shard_dir(directory, index), config=config, rng=rng,
+                resume=resume,
+            )
+            for index in range(int(manifest.n_shards))
+        ]
+        owners: Dict[int, int] = {}
+        centers: List[np.ndarray] = []
+        for index, db in enumerate(shard_dbs):
+            for object_id, summary in db.summaries.items():
+                owners[int(object_id)] = index
+                centers.append(summary.support_mbr.center)
+        policy = make_placement(
+            str(manifest.extra.get("placement", config.shard_placement)),
+            int(manifest.n_shards),
+            np.asarray(centers, dtype=float) if centers else None,
+        )
+        instance = cls(shard_dbs, policy, owners, config=config)
+        instance._durable_dir = directory
+        for index, db in enumerate(shard_dbs):
+            # Fold the per-shard recovery counters (WAL_REPLAYED, RECOVERIES,
+            # BULK_LOADS, ...) into the global collector, then arm the WAL
+            # fault hooks now that `instance` exists to route through.
+            instance.metrics.merge(db.metrics)
+            if resume and db.wal is not None:
+                db.wal.fault_hook = instance._wal_fault_hook(index)
+        return instance
+
+    # ------------------------------------------------------------------
+    # Standing-query listeners
+    # ------------------------------------------------------------------
+    def add_update_listener(self, listener) -> None:
+        """Register an object with ``notify_insert`` / ``notify_delete``.
+
+        Listeners fire *after* the owning shard's write lock is released and
+        the epoch has advanced, so a listener that re-queries (the
+        subscription engine's delete path) sees the post-mutation state and
+        cannot deadlock against the mutation's lock.
+        """
+        self._update_listeners.append(listener)
+
+    def remove_update_listener(self, listener) -> None:
+        try:
+            self._update_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_insert(self, obj: FuzzyObject) -> None:
+        for listener in list(self._update_listeners):
+            listener.notify_insert(obj)
+
+    def _notify_delete(self, object_id: int) -> None:
+        for listener in list(self._update_listeners):
+            listener.notify_delete(object_id)
 
     # ------------------------------------------------------------------
     # Shard plumbing
@@ -1400,6 +1560,7 @@ class ShardedDatabase:
             self._owners[object_id] = shard_index
             self.metrics.increment(MetricsCollector.LIVE_INSERTS)
         self._epoch.advance()
+        self._notify_insert(obj)
         return object_id
 
     def delete(self, object_id: int) -> None:
@@ -1412,6 +1573,7 @@ class ShardedDatabase:
             self._owners.pop(object_id, None)
             self.metrics.increment(MetricsCollector.LIVE_DELETES)
         self._epoch.advance()
+        self._notify_delete(object_id)
 
     # ------------------------------------------------------------------
     # Introspection

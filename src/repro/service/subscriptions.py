@@ -1,0 +1,434 @@
+"""Standing queries: registered requests maintained under live updates.
+
+A client subscribes an :class:`~repro.core.requests.AknnRequest` or
+:class:`~repro.core.requests.RangeRequest` and from then on receives
+:class:`ResultDelta` messages whenever an insert or delete changes its
+answer, instead of re-polling the full query.  The maintenance work per
+update is deliberately small:
+
+*Insert.*  A new object can only enter a kNN answer whose current k-th
+distance it beats (or that is not full yet), and a range answer whose radius
+it reaches.  Both conditions are screened *vectorised* across all
+subscriptions at once: ``MinDist`` between each subscription's query
+alpha-cut box and the new object's support box (:func:`min_dist_to_boxes`,
+the Equation-1 kernel the tree traversal already uses) is a valid lower
+bound on the exact alpha-distance, so subscriptions whose threshold lies
+below it are dismissed without touching the object's point set
+(SUB_SCREENED_OUT).  Only survivors pay one exact closest-pair evaluation
+(SUB_EVALUATIONS).
+
+*Delete.*  A delete can only change answers the object currently belongs
+to.  A range subscription just drops the member (the delta is exact without
+re-execution).  A kNN subscription must back-fill its k-th slot, which
+requires a targeted re-query — routed through the engine's typed ``execute``
+surface (SUB_REQUERIES), so on a sharded database the re-query is the normal
+fan-out + cross-shard merge and the delta is correct across shards.
+
+Parity invariant (pinned by the tests): after *every* mutation, replaying a
+subscription's delta stream from empty reproduces exactly the result of
+re-executing its request from scratch.
+
+:class:`SubscriptionEngine` registers as an update listener on the database
+(:meth:`~repro.core.database.FuzzyDatabase.add_update_listener`); the service
+layer wraps subscriptions in a bounded :class:`DeliverySubscription` queue
+and sheds consumers that fall behind (SUBSCRIBERS_SHED).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..config import RuntimeConfig
+from ..core.requests import AknnRequest, QueryRequest, RangeRequest
+from ..exceptions import EmptyAlphaCutError, InvalidQueryError
+from ..fuzzy.alpha_distance import alpha_distance_points
+from ..fuzzy.fuzzy_object import FuzzyObject
+from ..index.soa import min_dist_to_boxes
+from ..metrics.counters import MetricsCollector
+
+
+@dataclass(frozen=True)
+class ResultDelta:
+    """One change notification for a standing query.
+
+    ``added`` holds ``(object_id, distance)`` pairs entering the answer,
+    ``removed`` the object ids leaving it.  ``seq`` increases by one per
+    delta of a subscription (gap-free, so consumers can detect loss), and
+    ``cause`` names the mutation that produced the delta (``"initial"``,
+    ``"insert"``, ``"delete"``).
+    """
+
+    subscription_id: int
+    seq: int
+    added: Tuple[Tuple[int, float], ...] = ()
+    removed: Tuple[int, ...] = ()
+    cause: str = "initial"
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+
+class Subscription:
+    """One registered standing query and its maintained answer."""
+
+    def __init__(
+        self,
+        subscription_id: int,
+        request: Union[AknnRequest, RangeRequest],
+        listener: Optional[Callable[[ResultDelta], None]] = None,
+        *,
+        use_kdtree: bool = True,
+    ) -> None:
+        self.id = int(subscription_id)
+        self.request = request
+        self.listener = listener
+        self.use_kdtree = use_kdtree
+        self.alpha = float(request.alpha)
+        # The query alpha-cut is fixed for the subscription's lifetime;
+        # materialise it (and its box) once.
+        self.query_cut = np.asarray(request.query.alpha_cut(self.alpha), dtype=float)
+        if self.query_cut.shape[0] == 0:
+            raise EmptyAlphaCutError(
+                f"query alpha-cut at alpha={self.alpha} is empty"
+            )
+        self.query_lower = self.query_cut.min(axis=0)
+        self.query_upper = self.query_cut.max(axis=0)
+        # Current answer: {object_id: exact alpha-distance}.
+        self.members: Dict[int, float] = {}
+        self.seq = 0
+        self.active = True
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_aknn(self) -> bool:
+        return isinstance(self.request, AknnRequest)
+
+    @property
+    def threshold(self) -> float:
+        """Largest exact distance a new insert must beat to matter.
+
+        kNN: the k-th member distance (``inf`` while the answer is not yet
+        full — any insert may enter).  Range: the radius.
+        """
+        if self.is_aknn:
+            if len(self.members) < self.request.k:
+                return float("inf")
+            return max(self.members.values())
+        return float(self.request.radius)
+
+    def distance_of(self, obj: FuzzyObject) -> float:
+        """Exact alpha-distance between the query and ``obj``."""
+        cut = np.asarray(obj.alpha_cut(self.alpha), dtype=float)
+        return alpha_distance_points(cut, self.query_cut, use_kdtree=self.use_kdtree)
+
+    def ranked_members(self) -> List[Tuple[float, int]]:
+        """Members ordered by ``(distance, object_id)`` — the merge order."""
+        return sorted((d, oid) for oid, d in self.members.items())
+
+    # ------------------------------------------------------------------
+
+    def emit(self, added, removed, cause: str) -> Optional[ResultDelta]:
+        added = tuple(sorted(added))
+        removed = tuple(sorted(removed))
+        if not added and not removed:
+            return None
+        delta = ResultDelta(
+            subscription_id=self.id,
+            seq=self.seq,
+            added=added,
+            removed=removed,
+            cause=cause,
+        )
+        self.seq += 1
+        if self.listener is not None:
+            self.listener(delta)
+        return delta
+
+
+class SubscriptionEngine:
+    """Maintains every registered standing query under inserts and deletes.
+
+    Implements the update-listener protocol (:meth:`notify_insert`,
+    :meth:`notify_delete`) and is meant to be attached with
+    ``database.add_update_listener(engine)`` so every mutation — whether it
+    enters through the database, the sharded fan-out or the query service —
+    triggers maintenance exactly once, after the mutation is applied.
+    """
+
+    def __init__(
+        self,
+        engine,
+        config: Optional[RuntimeConfig] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or getattr(engine, "config", None) or RuntimeConfig()
+        self.metrics = metrics if metrics is not None else getattr(engine, "metrics", None)
+        self._subs: Dict[int, Subscription] = {}
+        self._next_id = 0
+        # Reentrant: delta listeners run under this lock, and a listener
+        # may call back into unsubscribe() on the same thread (the delivery
+        # queue sheds its subscription on overflow).
+        self._lock = threading.RLock()
+        # Stacked (S, d) query boxes for the vectorised insert screen;
+        # rebuilt lazily after subscribe/unsubscribe.
+        self._screen_ids: Optional[List[int]] = None
+        self._screen_lower: Optional[np.ndarray] = None
+        self._screen_upper: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        request: QueryRequest,
+        listener: Optional[Callable[[ResultDelta], None]] = None,
+    ) -> Subscription:
+        """Register ``request`` and emit its initial answer as a delta."""
+        if not isinstance(request, (AknnRequest, RangeRequest)):
+            raise InvalidQueryError(
+                "standing queries support AknnRequest and RangeRequest, got "
+                f"{type(request).__name__}"
+            )
+        with self._lock:
+            sub = Subscription(
+                self._next_id,
+                request,
+                listener,
+                use_kdtree=self.config.use_kdtree,
+            )
+            self._next_id += 1
+            sub.members = self._execute_members(sub)
+            self._subs[sub.id] = sub
+            self._invalidate_screen()
+            self._count(MetricsCollector.SUBSCRIPTIONS)
+            delta = sub.emit(
+                [(oid, d) for oid, d in sub.members.items()], [], "initial"
+            )
+            if delta is not None:
+                self._count(MetricsCollector.SUB_DELTAS)
+        return sub
+
+    def unsubscribe(self, subscription: Union[Subscription, int]) -> None:
+        sub_id = subscription.id if isinstance(subscription, Subscription) else int(subscription)
+        with self._lock:
+            sub = self._subs.pop(sub_id, None)
+            if sub is not None:
+                sub.active = False
+                self._invalidate_screen()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    # ------------------------------------------------------------------
+    # Update-listener protocol
+    # ------------------------------------------------------------------
+
+    def notify_insert(self, obj: FuzzyObject) -> None:
+        """Maintain every subscription after ``obj`` was inserted."""
+        with self._lock:
+            if not self._subs:
+                return
+            object_id = int(obj.object_id)
+            support = obj.support_mbr()
+            lower, upper, ids = self._screen_matrices()
+            # MinDist(query alpha-cut box, object support box) lower-bounds
+            # the exact alpha-distance at every alpha, so one (S, 1) kernel
+            # call screens all subscriptions at once.
+            bounds = min_dist_to_boxes(
+                lower,
+                upper,
+                support.lower[None, :],
+                support.upper[None, :],
+            )[:, 0]
+            screened = 0
+            for sub_index, sub_id in enumerate(ids):
+                sub = self._subs.get(sub_id)
+                if sub is None:
+                    continue
+                if bounds[sub_index] > sub.threshold:
+                    screened += 1
+                    continue
+                self._count(MetricsCollector.SUB_EVALUATIONS)
+                try:
+                    distance = sub.distance_of(obj)
+                except EmptyAlphaCutError:
+                    # No point of the object reaches this alpha: it cannot
+                    # belong to any alpha-cut answer.
+                    continue
+                self._apply_insert(sub, object_id, distance)
+            if screened:
+                self._count(MetricsCollector.SUB_SCREENED_OUT, screened)
+
+    def notify_delete(self, object_id: int) -> None:
+        """Maintain every subscription after ``object_id`` was deleted."""
+        object_id = int(object_id)
+        with self._lock:
+            for sub in list(self._subs.values()):
+                if object_id not in sub.members:
+                    continue
+                if sub.is_aknn:
+                    # The k-th slot must be back-filled: targeted re-query
+                    # through the typed surface (fans out + merges across
+                    # shards on a sharded engine), then diff.
+                    self._count(MetricsCollector.SUB_REQUERIES)
+                    fresh = self._execute_members(sub)
+                    added = [
+                        (oid, d) for oid, d in fresh.items() if oid not in sub.members
+                    ]
+                    removed = [oid for oid in sub.members if oid not in fresh]
+                    sub.members = fresh
+                    if sub.emit(added, removed, "delete") is not None:
+                        self._count(MetricsCollector.SUB_DELTAS)
+                else:
+                    sub.members.pop(object_id)
+                    sub.emit([], [object_id], "delete")
+                    self._count(MetricsCollector.SUB_DELTAS)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _apply_insert(self, sub: Subscription, object_id: int, distance: float) -> None:
+        if sub.is_aknn:
+            k = sub.request.k
+            if len(sub.members) < k:
+                sub.members[object_id] = distance
+                if sub.emit([(object_id, distance)], [], "insert") is not None:
+                    self._count(MetricsCollector.SUB_DELTAS)
+                return
+            worst_d, worst_id = max((d, oid) for oid, d in sub.members.items())
+            if (distance, object_id) < (worst_d, worst_id):
+                sub.members.pop(worst_id)
+                sub.members[object_id] = distance
+                sub.emit([(object_id, distance)], [worst_id], "insert")
+                self._count(MetricsCollector.SUB_DELTAS)
+            return
+        if distance <= sub.request.radius:
+            sub.members[object_id] = distance
+            sub.emit([(object_id, distance)], [], "insert")
+            self._count(MetricsCollector.SUB_DELTAS)
+
+    def _execute_members(self, sub: Subscription) -> Dict[int, float]:
+        """Run the subscription's request and return exact ``{id: distance}``.
+
+        Lazily-confirmed kNN neighbours (accepted through bounds alone) carry
+        ``distance=None``; the maintained state needs exact distances, so
+        those are resolved with one store probe + closest-pair evaluation.
+        """
+        result = self.engine.execute(sub.request)
+        members: Dict[int, float] = {}
+        if isinstance(sub.request, AknnRequest):
+            for neighbor in result.neighbors:
+                distance = neighbor.distance
+                if distance is None:
+                    obj = self.engine.get_object(neighbor.object_id)
+                    distance = sub.distance_of(obj)
+                members[int(neighbor.object_id)] = float(distance)
+        else:
+            for object_id, distance in result.matches:
+                members[int(object_id)] = float(distance)
+        return members
+
+    def _screen_matrices(self):
+        if self._screen_lower is None:
+            subs = list(self._subs.values())
+            self._screen_ids = [s.id for s in subs]
+            self._screen_lower = np.stack([s.query_lower for s in subs])
+            self._screen_upper = np.stack([s.query_upper for s in subs])
+        return self._screen_lower, self._screen_upper, self._screen_ids
+
+    def _invalidate_screen(self) -> None:
+        self._screen_ids = None
+        self._screen_lower = None
+        self._screen_upper = None
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.increment(name, amount)
+
+
+class SubscriptionShedError(Exception):
+    """Internal marker: the delivery queue overflowed (consumer too slow)."""
+
+
+class DeliverySubscription:
+    """A subscription whose deltas are buffered for a pulling consumer.
+
+    The service layer hands these out: deltas queue up to
+    ``RuntimeConfig.subscription_queue_depth``; a consumer that falls
+    further behind is *shed* — the subscription is cancelled, the counter
+    bumped, and the queue is terminated with a sentinel so the consumer
+    observes the shed instead of waiting forever.
+    """
+
+    _CLOSE = object()
+
+    def __init__(self, depth: int) -> None:
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max(1, int(depth)))
+        self.subscription: Optional[Subscription] = None
+        self.shed = False
+        self.closed = False
+        self._on_overflow: Optional[Callable[[], None]] = None
+
+    @property
+    def id(self) -> int:
+        assert self.subscription is not None
+        return self.subscription.id
+
+    # -- producer side -------------------------------------------------
+
+    def deliver(self, delta: ResultDelta) -> None:
+        try:
+            self._queue.put_nowait(delta)
+        except queue.Full:
+            self.shed = True
+            self.close()
+            if self._on_overflow is not None:
+                self._on_overflow()
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            try:
+                self._queue.put_nowait(self._CLOSE)
+            except queue.Full:
+                # Consumer will still observe `closed` once it drains.
+                pass
+
+    # -- consumer side -------------------------------------------------
+
+    def poll(self, timeout: Optional[float] = None) -> Optional[ResultDelta]:
+        """Next delta, ``None`` when the stream ended (or ``timeout`` hit)."""
+        try:
+            item = self._queue.get(timeout=timeout) if timeout is not None else self._queue.get_nowait()
+        except queue.Empty:
+            return None
+        if item is self._CLOSE:
+            return None
+        return item
+
+    def drain(self) -> List[ResultDelta]:
+        """Every currently queued delta, without blocking."""
+        deltas: List[ResultDelta] = []
+        while True:
+            delta = self.poll()
+            if delta is None:
+                return deltas
+            deltas.append(delta)
+
+    def __iter__(self) -> Iterator[ResultDelta]:
+        while True:
+            item = self._queue.get()
+            if item is self._CLOSE:
+                return
+            yield item

@@ -12,11 +12,17 @@ This package reproduces that setup:
 * :class:`~repro.storage.object_store.ObjectStore` — an append-once,
   file-backed store with an exact access counter and an optional LRU buffer
   pool (:class:`~repro.storage.cache.LRUCache`).
+* :class:`~repro.storage.wal.WriteAheadLog` — the per-shard durability log
+  (length-prefixed, checksummed records; torn tails self-heal on replay).
+* :mod:`~repro.storage.snapshot` — the snapshot/truncate cycle and the
+  atomically published :class:`~repro.storage.snapshot.Manifest`.
 """
 
 from repro.storage.serialization import encode_object, decode_object, HEADER_SIZE
 from repro.storage.cache import LRUCache
 from repro.storage.object_store import ObjectStore, StoreStatistics
+from repro.storage.snapshot import Manifest, SnapshotManager, read_manifest, write_manifest
+from repro.storage.wal import WalRecord, WriteAheadLog
 
 __all__ = [
     "encode_object",
@@ -25,4 +31,10 @@ __all__ = [
     "LRUCache",
     "ObjectStore",
     "StoreStatistics",
+    "WriteAheadLog",
+    "WalRecord",
+    "Manifest",
+    "SnapshotManager",
+    "read_manifest",
+    "write_manifest",
 ]

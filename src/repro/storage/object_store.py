@@ -20,10 +20,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.exceptions import ObjectNotFoundError, StorageError
+from repro.exceptions import ObjectNotFoundError, StorageCorruptionError, StorageError
 from repro.fuzzy.fuzzy_object import FuzzyObject
 from repro.storage.cache import LRUCache
-from repro.storage.serialization import decode_object, encode_object
+from repro.storage.serialization import HEADER_SIZE, MAGIC, decode_object, encode_object
 
 
 @dataclass
@@ -120,6 +120,12 @@ class ObjectStore:
         for obj in objects:
             store.put(obj)
         return store
+
+    def flush(self) -> None:
+        """Push buffered appends to stable storage (no-op in memory mode)."""
+        if self._file is not None and not self._closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
 
     def close(self) -> None:
         """Flush and close the backing file."""
@@ -283,6 +289,34 @@ class ObjectStore:
         """``{object_id: (offset, length)}`` — exposed for catalogue persistence."""
         return {oid: (slot.offset, slot.length) for oid, slot in self._slots.items()}
 
+    @property
+    def path(self) -> Optional[Path]:
+        """Backing data file, ``None`` for in-memory stores."""
+        return self._path
+
+    def dump(self, path: os.PathLike | str) -> Dict[int, Tuple[int, int]]:
+        """Write every live record to a fresh data file at ``path``.
+
+        The file is published atomically (tmp + ``os.replace``) and the new
+        slot table is returned.  Snapshots use this to materialise in-memory
+        stores (and to compact on-disk ones whose data file lives elsewhere);
+        the store itself keeps serving from its current backing.
+        """
+        self._ensure_open()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        table: Dict[int, Tuple[int, int]] = {}
+        with open(tmp, "wb") as out:
+            for object_id in self.object_ids():
+                payload = self._read_payload(object_id)
+                table[object_id] = (out.tell(), len(payload))
+                out.write(payload)
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, path)
+        return table
+
     def _ensure_open(self) -> None:
         if self._closed:
             raise StorageError("object store has been closed")
@@ -314,16 +348,63 @@ class ObjectStore:
         ``id_watermark`` restores the persisted never-recycle bound; when
         absent (older catalogues) it falls back to ``max(ids) + 1``, which
         is correct unless the highest id had been deleted before saving.
+
+        The file is validated against the slot table before the store is
+        handed out: a missing or truncated data file, or a record that does
+        not start with the codec magic, raises
+        :class:`~repro.exceptions.StorageCorruptionError` naming the path
+        and byte offset of the damage.  Crash recovery relies on this
+        distinction — a WAL with a torn tail is repairable, a data file that
+        cannot back its own catalogue is not.
         """
+        path = Path(path)
+        slots = {
+            int(oid): _Slot(offset=int(off), length=int(length))
+            for oid, (off, length) in slot_table.items()
+        }
+        if not path.exists():
+            raise StorageCorruptionError(
+                f"{path}: data file is missing", path=path, offset=0
+            )
+        size = path.stat().st_size
+        for oid, slot in sorted(slots.items(), key=lambda kv: kv[1].offset):
+            if slot.offset + slot.length > size:
+                raise StorageCorruptionError(
+                    f"{path}: truncated data file — object {oid} needs bytes "
+                    f"[{slot.offset}, {slot.offset + slot.length}) but the file "
+                    f"has {size}",
+                    path=path,
+                    offset=slot.offset,
+                )
+            if slot.length < HEADER_SIZE:
+                raise StorageCorruptionError(
+                    f"{path}: slot for object {oid} is shorter than a record "
+                    f"header",
+                    path=path,
+                    offset=slot.offset,
+                )
+        # Spot-check the record magic at the shallowest and deepest slots —
+        # catches a data file that has the right size but the wrong content
+        # (e.g. a catalogue pointed at an unrelated file) without paying a
+        # full scan on every open.
+        if slots:
+            with open(path, "rb") as probe:
+                by_offset = sorted(slots.items(), key=lambda kv: kv[1].offset)
+                for oid, slot in (by_offset[0], by_offset[-1]):
+                    probe.seek(slot.offset)
+                    if probe.read(len(MAGIC)) != MAGIC:
+                        raise StorageCorruptionError(
+                            f"{path}: record for object {oid} at offset "
+                            f"{slot.offset} does not start with the codec magic",
+                            path=path,
+                            offset=slot.offset,
+                        )
         store = cls(
             path=path,
             cache_capacity=cache_capacity,
             cut_cache_capacity=cut_cache_capacity,
         )
-        store._slots = {
-            int(oid): _Slot(offset=int(off), length=int(length))
-            for oid, (off, length) in slot_table.items()
-        }
+        store._slots = slots
         floor = max(store._slots.keys(), default=-1) + 1
         store._id_watermark = max(floor, int(id_watermark or 0))
         return store
